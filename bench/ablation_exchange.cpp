@@ -1,0 +1,76 @@
+// Ablation: dense all-to-all exchange schedules (§7.1) — mpich-style direct
+// posting of all p−1 pairs versus the 1-factor algorithm [31] that omits
+// empty messages. Sweeps density (fraction of non-empty pairs) and payload
+// size; reports virtual exchange time and messages per PE.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "coll/collectives.hpp"
+#include "common/random.hpp"
+#include "harness/tables.hpp"
+#include "net/engine.hpp"
+
+using namespace pmps;
+
+namespace {
+
+struct Outcome {
+  double time;
+  std::int64_t max_msgs;
+};
+
+Outcome run_case(int p, double density, std::int64_t words,
+                 coll::Schedule sched, std::uint64_t seed) {
+  net::Engine engine(p, net::MachineParams::supermuc_like(), seed);
+  engine.run([&](net::Comm& comm) {
+    Xoshiro256 rng(seed, static_cast<std::uint64_t>(comm.rank()));
+    std::vector<std::vector<std::uint64_t>> send(
+        static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      if (rng.uniform() < density) {
+        send[static_cast<std::size_t>(i)].assign(
+            static_cast<std::size_t>(words),
+            static_cast<std::uint64_t>(comm.rank()));
+      }
+    }
+    (void)coll::alltoallv(comm, std::move(send), sched);
+  });
+  return {engine.report().wall_time, engine.report().max_messages_sent};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::Flags::parse(argc, argv);
+  const int p = flags.paper_scale ? 256 : 64;
+
+  std::printf(
+      "Exchange ablation (p=%d): direct vs 1-factor alltoallv over message "
+      "density and size\n\n",
+      p);
+  harness::Table table({"density", "words/pair", "direct: time",
+                        "direct: msgs", "1-factor: time", "1-factor: msgs"});
+  for (double density : {1.0, 0.25, 0.05}) {
+    for (std::int64_t words : {std::int64_t{16}, std::int64_t{1024}}) {
+      const auto direct =
+          run_case(p, density, words, coll::Schedule::kDirect, flags.seed);
+      const auto onefac =
+          run_case(p, density, words, coll::Schedule::kOneFactor, flags.seed);
+      table.add_row({harness::format_double(density, 2), std::to_string(words),
+                     harness::format_seconds(direct.time),
+                     std::to_string(direct.max_msgs),
+                     harness::format_seconds(onefac.time),
+                     std::to_string(onefac.max_msgs)});
+    }
+  }
+  flags.csv ? table.print_csv() : table.print();
+  std::printf(
+      "\nexpected: at low density the 1-factor schedule sends far fewer "
+      "messages (empty pairs omitted), matching the paper's observation "
+      "that their 1-factor implementation is more stable with higher "
+      "average throughput.\n");
+  return 0;
+}

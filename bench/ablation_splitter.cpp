@@ -1,0 +1,102 @@
+// Ablation: splitter selection schemes (§6 vs [13]).
+//
+// AMS-sort sorts its sample with the fast work-inefficient algorithm (§4.2)
+// and uses overpartitioning; the Gerbessiotis–Valiant baseline gathers the
+// sample on one PE, sorts sequentially and broadcasts. This bench compares
+// (a) the splitter-selection phase time and (b) total time / imbalance, as
+// p grows — the reason the paper parallelised sample sorting.
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/gv_sample_sort.hpp"
+#include "bench_common.hpp"
+#include "harness/runner.hpp"
+#include "harness/tables.hpp"
+#include "harness/verify.hpp"
+#include "harness/workloads.hpp"
+
+using namespace pmps;
+using net::Phase;
+
+namespace {
+
+struct Outcome {
+  double total, splitter;
+  double imbalance;
+};
+
+Outcome run_gv(int p, std::int64_t n, std::uint64_t seed) {
+  net::Engine engine(p, net::MachineParams::supermuc_like(), seed);
+  Outcome out{};
+  std::mutex mu;
+  engine.run([&](net::Comm& comm) {
+    auto data = harness::make_workload(harness::Workload::kUniform,
+                                       comm.rank(), p, n, seed);
+    const auto h = harness::content_hash(
+        std::span<const std::uint64_t>(data.data(), data.size()));
+    baseline::GvConfig cfg;
+    cfg.levels = p >= 64 ? 2 : 1;
+    // Matched total sample size: AMS draws a·b·r ≈ 16·16·r samples, so give
+    // GV the same budget per splitter (it has r−1 splitters, no buckets).
+    cfg.oversampling_a = 256;
+    cfg.seed = seed;
+    baseline::gv_sample_sort(comm, data, cfg);
+    const auto check = harness::verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()), h, n);
+    PMPS_CHECK_MSG(check.ok(), "GV baseline verification failed");
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      out.imbalance = check.imbalance;
+    }
+  });
+  out.total = engine.report().wall_time;
+  out.splitter = engine.report().phase(Phase::kSplitterSelection);
+  return out;
+}
+
+Outcome run_ams(int p, std::int64_t n, std::uint64_t seed) {
+  harness::RunConfig cfg;
+  cfg.p = p;
+  cfg.n_per_pe = n;
+  cfg.algorithm = harness::Algorithm::kAms;
+  cfg.ams.levels = p >= 64 ? 2 : 1;
+  cfg.seed = seed;
+  const auto res = harness::run_sort_experiment(cfg);
+  PMPS_CHECK_MSG(res.check.ok(), "AMS verification failed");
+  return {res.wall_time(), res.phase(Phase::kSplitterSelection),
+          res.check.imbalance};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::Flags::parse(argc, argv);
+  const std::int64_t n = 2000;
+
+  std::printf(
+      "Splitter-selection ablation: AMS-sort (fast parallel sample sort + "
+      "overpartitioning) vs Gerbessiotis–Valiant style (centralised sample "
+      "sort, no overpartitioning), n/p=%lld\n\n",
+      static_cast<long long>(n));
+  harness::Table table({"p", "AMS: split[s]", "GV: split[s]", "AMS: total",
+                        "GV: total", "AMS: imbal", "GV: imbal"});
+  for (int p : bench::executed_ps()) {
+    const auto ams = run_ams(p, n, flags.seed);
+    const auto gv = run_gv(p, n, flags.seed);
+    table.add_row({std::to_string(p), harness::format_double(ams.splitter, 6),
+                   harness::format_double(gv.splitter, 6),
+                   harness::format_double(ams.total, 6),
+                   harness::format_double(gv.total, 6),
+                   harness::format_double(ams.imbalance, 3),
+                   harness::format_double(gv.imbalance, 3)});
+  }
+  flags.csv ? table.print_csv() : table.print();
+  std::printf(
+      "\nexpected: the centralised splitter phase grows ~linearly with the "
+      "sample (∝ p), while the parallel fast sort stays flat; AMS-sort's "
+      "overpartitioning also yields lower imbalance.\n");
+  return 0;
+}

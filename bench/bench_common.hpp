@@ -1,0 +1,67 @@
+// Shared helpers for the benchmark binaries: flag parsing and the
+// executed-vs-paper-scale convention (see DESIGN.md §1).
+//
+// Every bench runs out of the box at a reduced, executable scale and prints
+// the same rows/series as the paper's table or figure; pass --paper-scale to
+// evaluate the calibrated analytic model on the paper's exact grid instead.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pmps::bench {
+
+struct Flags {
+  bool paper_scale = false;
+  bool csv = false;
+  int reps = 3;
+  std::uint64_t seed = 1;
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper-scale") == 0) {
+        f.paper_scale = true;
+      } else if (std::strcmp(argv[i], "--csv") == 0) {
+        f.csv = true;
+      } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+        f.reps = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        f.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "flags: --paper-scale (analytic model on the paper's grid)\n"
+            "       --csv (CSV output)  --reps N  --seed S\n");
+        std::exit(0);
+      }
+    }
+    return f;
+  }
+};
+
+/// Executed-simulation grid (small enough for one host).
+inline const std::vector<int>& executed_ps() {
+  static const std::vector<int> ps{16, 64, 256};
+  return ps;
+}
+inline const std::vector<std::int64_t>& executed_ns() {
+  static const std::vector<std::int64_t> ns{1000, 10000};
+  return ns;
+}
+
+/// The paper's §7.2 grid.
+inline const std::vector<std::int64_t>& paper_ps() {
+  static const std::vector<std::int64_t> ps{512, 2048, 8192, 32768};
+  return ps;
+}
+inline const std::vector<std::int64_t>& paper_ns() {
+  static const std::vector<std::int64_t> ns{100000, 1000000, 10000000};
+  return ns;
+}
+
+}  // namespace pmps::bench

@@ -1,0 +1,106 @@
+// Figure 7: slowdown of RLM-sort compared to AMS-sort, each with its best
+// level choice, as a function of p for n/p ∈ {1e5, 1e6, 1e7} (paper scale)
+// or the reduced executed grid. The paper's observation: slowdown > 1
+// almost everywhere, and it grows for small n/p and large p (matching the
+// log²p isoefficiency gap).
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ams/level_config.hpp"
+#include "bench_common.hpp"
+#include "harness/model.hpp"
+#include "harness/runner.hpp"
+#include "harness/tables.hpp"
+
+using namespace pmps;
+
+namespace {
+
+double best_time(harness::Algorithm algo, int p, std::int64_t n_per_pe,
+                 const bench::Flags& flags) {
+  double best = std::numeric_limits<double>::infinity();
+  const int kmax = p >= 64 ? 3 : 2;
+  for (int k = 1; k <= kmax; ++k) {
+    std::vector<double> times;
+    for (int rep = 0; rep < flags.reps; ++rep) {
+      harness::RunConfig cfg;
+      cfg.p = p;
+      cfg.n_per_pe = n_per_pe;
+      cfg.algorithm = algo;
+      cfg.ams.levels = k;
+      cfg.rlm.levels = k;
+      cfg.seed = flags.seed + static_cast<std::uint64_t>(rep) * 31 + 3;
+      const auto res = harness::run_sort_experiment(cfg);
+      if (!res.check.ok()) {
+        std::fprintf(stderr, "verification FAILED (%s p=%d k=%d)\n",
+                     std::string(harness::algorithm_name(algo)).c_str(), p, k);
+        std::exit(1);
+      }
+      times.push_back(res.wall_time());
+    }
+    best = std::min(best, harness::median(times));
+  }
+  return best;
+}
+
+double best_model_time(bool rlm, std::int64_t p, std::int64_t n_per_pe) {
+  const auto machine = net::MachineParams::supermuc_like();
+  double best = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 3; ++k) {
+    const auto rs = ams::level_group_counts(p, k);
+    const double t = rlm ? harness::model_rlm(machine, p, n_per_pe, rs).total
+                         : harness::model_ams(machine, p, n_per_pe, rs, 8, 16)
+                               .total;
+    best = std::min(best, t);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::Flags::parse(argc, argv);
+
+  if (flags.paper_scale) {
+    std::printf(
+        "Figure 7 (paper scale, analytic model): slowdown of RLM-sort vs "
+        "AMS-sort (best level each)\n\n");
+    harness::Table table({"p", "n/p=1e5", "n/p=1e6", "n/p=1e7"});
+    for (std::int64_t p : bench::paper_ps()) {
+      std::vector<std::string> row{std::to_string(p)};
+      for (std::int64_t n : bench::paper_ns())
+        row.push_back(harness::format_double(
+            best_model_time(true, p, n) / best_model_time(false, p, n), 2));
+      table.add_row(std::move(row));
+    }
+    flags.csv ? table.print_csv() : table.print();
+    std::printf("\npaper: slowdown ≈1–4, largest for n/p=1e5 at p=2^15.\n");
+    return 0;
+  }
+
+  std::printf(
+      "Figure 7 (executed simulation): slowdown of RLM-sort vs AMS-sort "
+      "(best level each, median of %d reps)\n\n",
+      flags.reps);
+  std::vector<std::string> header{"p"};
+  for (auto n : bench::executed_ns())
+    header.push_back("n/p=" + std::to_string(n));
+  harness::Table table(header);
+  for (int p : bench::executed_ps()) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (std::int64_t n : bench::executed_ns()) {
+      const double ams = best_time(harness::Algorithm::kAms, p, n, flags);
+      const double rlm = best_time(harness::Algorithm::kRlm, p, n, flags);
+      row.push_back(harness::format_double(rlm / ams, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  flags.csv ? table.print_csv() : table.print();
+  std::printf(
+      "\nexpected shape: slowdown ≥ ~1 and increasing towards small n/p "
+      "and large p (Figure 7 of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 8: weak scaling of AMS-sort with 1, 2 and 3 levels, broken down
+// into the four phases (data delivery / bucket processing / splitter
+// selection / local sort) accumulated over recursion levels — the stacked
+// bars of the paper rendered as table rows.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ams/level_config.hpp"
+#include "bench_common.hpp"
+#include "harness/model.hpp"
+#include "harness/runner.hpp"
+#include "harness/tables.hpp"
+
+using namespace pmps;
+using net::Phase;
+
+namespace {
+
+void add_point(harness::Table& table, const std::string& np,
+               const std::string& p, int k, double total, double deliver,
+               double bucket, double split, double sort) {
+  table.add_row({np, p, std::to_string(k), harness::format_double(total, 5),
+                 harness::format_double(deliver, 5),
+                 harness::format_double(bucket, 5),
+                 harness::format_double(split, 5),
+                 harness::format_double(sort, 5)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::Flags::parse(argc, argv);
+  harness::Table table({"n/p", "p", "levels", "total[s]", "delivery",
+                        "bucket-proc", "splitter-sel", "local-sort"});
+
+  if (flags.paper_scale) {
+    std::printf(
+        "Figure 8 (paper scale, analytic model): AMS-sort phase breakdown\n\n");
+    const auto machine = net::MachineParams::supermuc_like();
+    for (std::int64_t n : bench::paper_ns()) {
+      for (std::int64_t p : bench::paper_ps()) {
+        for (int k = 1; k <= 3; ++k) {
+          const auto t = harness::model_ams(
+              machine, p, n, ams::level_group_counts(p, k), 8, 16);
+          add_point(table, std::to_string(n), std::to_string(p), k, t.total,
+                    t.get(Phase::kDataDelivery), t.get(Phase::kBucketProcessing),
+                    t.get(Phase::kSplitterSelection), t.get(Phase::kLocalSort));
+        }
+      }
+    }
+    flags.csv ? table.print_csv() : table.print();
+    return 0;
+  }
+
+  std::printf(
+      "Figure 8 (executed simulation): AMS-sort phase breakdown, median of "
+      "%d reps\n\n",
+      flags.reps);
+  for (std::int64_t n : bench::executed_ns()) {
+    for (int p : bench::executed_ps()) {
+      const int kmax = p >= 64 ? 3 : 2;
+      for (int k = 1; k <= kmax; ++k) {
+        std::vector<double> total, deliver, bucket, split, sort;
+        for (int rep = 0; rep < flags.reps; ++rep) {
+          harness::RunConfig cfg;
+          cfg.p = p;
+          cfg.n_per_pe = n;
+          cfg.algorithm = harness::Algorithm::kAms;
+          cfg.ams.levels = k;
+          cfg.seed = flags.seed + static_cast<std::uint64_t>(rep) * 17;
+          const auto res = harness::run_sort_experiment(cfg);
+          if (!res.check.ok()) {
+            std::fprintf(stderr, "verification FAILED\n");
+            return 1;
+          }
+          total.push_back(res.wall_time());
+          deliver.push_back(res.phase(Phase::kDataDelivery));
+          bucket.push_back(res.phase(Phase::kBucketProcessing));
+          split.push_back(res.phase(Phase::kSplitterSelection));
+          sort.push_back(res.phase(Phase::kLocalSort));
+        }
+        add_point(table, std::to_string(n), std::to_string(p), k,
+                  harness::median(total), harness::median(deliver),
+                  harness::median(bucket), harness::median(split),
+                  harness::median(sort));
+      }
+    }
+  }
+  flags.csv ? table.print_csv() : table.print();
+  std::printf(
+      "\nexpected shape (paper Fig. 8): delivery dominates at large p for "
+      "1 level; extra levels shrink delivery at the cost of more bucket "
+      "processing; splitter selection never dominates.\n");
+  return 0;
+}

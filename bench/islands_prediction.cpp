@@ -1,0 +1,121 @@
+// §7.2 prediction check: "we assume the three level version becomes faster
+// than the two level version executed at more than four islands. In that
+// case, it is more reasonable to set the number of groups in the first
+// level equal [to] the amount of islands. This results in inter-island
+// communication just within the first level."
+//
+// The paper could not test this (only 4 islands were available). The
+// simulated cluster can: we shrink the hierarchy (4 PEs/node, 4
+// nodes/island = 16 PEs/island) so that up to 16 islands fit in an
+// executable simulation, and compare
+//   * 2-level AMS-sort (generic rule: {p/node, node}) — its first exchange
+//     crosses islands with a large r, and
+//   * 3-level island-aligned AMS-sort ({#islands, nodes/island, node}) —
+//     only the first, small-r exchange crosses islands,
+// as the island count grows. Also evaluated at the paper's true scale with
+// the analytic model.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ams/level_config.hpp"
+#include "bench_common.hpp"
+#include "harness/model.hpp"
+#include "harness/runner.hpp"
+#include "harness/tables.hpp"
+
+using namespace pmps;
+
+namespace {
+
+double executed(const net::MachineParams& machine, int p, std::int64_t n,
+                std::vector<int> rs, const bench::Flags& flags) {
+  std::vector<double> times;
+  for (int rep = 0; rep < flags.reps; ++rep) {
+    harness::RunConfig cfg;
+    cfg.p = p;
+    cfg.n_per_pe = n;
+    cfg.machine = machine;
+    cfg.algorithm = harness::Algorithm::kAms;
+    cfg.ams.group_counts = rs;
+    cfg.seed = flags.seed + static_cast<std::uint64_t>(rep) * 53;
+    const auto res = harness::run_sort_experiment(cfg);
+    if (!res.check.ok()) {
+      std::fprintf(stderr, "verification FAILED\n");
+      std::exit(1);
+    }
+    times.push_back(res.wall_time());
+  }
+  return harness::median(times);
+}
+
+std::string join(const std::vector<int>& rs) {
+  std::string s;
+  for (std::size_t i = 0; i < rs.size(); ++i)
+    s += (i ? "/" : "") + std::to_string(rs[i]);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::Flags::parse(argc, argv);
+
+  if (flags.paper_scale) {
+    std::printf(
+        "Island prediction (paper scale, analytic model): SuperMUC islands "
+        "of 8192 PEs, n/p=1e5\n\n");
+    const auto machine = net::MachineParams::supermuc_like();
+    harness::Table table({"islands", "p", "2-level (generic)",
+                          "3-level (island-aligned)", "3L/2L"});
+    for (int islands : {1, 2, 4, 8, 16}) {
+      const std::int64_t p = static_cast<std::int64_t>(islands) * 8192;
+      const auto two = ams::level_group_counts(p, 2);
+      const std::vector<int> three{islands, 512, 16};
+      const double t2 = harness::model_ams(machine, p, 100000, two, 8, 16).total;
+      const double t3 =
+          harness::model_ams(machine, p, 100000,
+                             islands == 1 ? std::vector<int>{512, 16} : three,
+                             8, 16)
+              .total;
+      table.add_row({std::to_string(islands), std::to_string(p),
+                     harness::format_double(t2, 4),
+                     harness::format_double(t3, 4),
+                     harness::format_double(t3 / t2, 2)});
+    }
+    flags.csv ? table.print_csv() : table.print();
+    std::printf(
+        "\npaper's conjecture: the ratio drops below 1 beyond ~4 islands.\n");
+    return 0;
+  }
+
+  // Executed: shrunk hierarchy, 16 PEs per island.
+  auto machine = net::MachineParams::supermuc_like();
+  machine.pes_per_node = 4;
+  machine.nodes_per_island = 4;
+
+  std::printf(
+      "Island prediction (executed, shrunk hierarchy: 4 PEs/node, 4 "
+      "nodes/island): 2-level generic vs 3-level island-aligned AMS-sort, "
+      "n/p=2000\n\n");
+  harness::Table table({"islands", "p", "2L config", "2L [s]", "3L config",
+                        "3L [s]", "3L/2L"});
+  for (int islands : {1, 2, 4, 8, 16}) {
+    const int p = islands * 16;
+    const auto two = ams::level_group_counts(p, 2, machine.pes_per_node);
+    const auto three = ams::level_group_counts_for_machine(p, machine);
+    const double t2 = executed(machine, p, 2000, two, flags);
+    const double t3 = executed(machine, p, 2000, three, flags);
+    table.add_row({std::to_string(islands), std::to_string(p), join(two),
+                   harness::format_double(t2, 6), join(three),
+                   harness::format_double(t3, 6),
+                   harness::format_double(t3 / t2, 2)});
+  }
+  flags.csv ? table.print_csv() : table.print();
+  std::printf(
+      "\nexpected: island-aligned 3 levels overtake the generic 2-level "
+      "configuration as the island count grows (the paper's §7.2 "
+      "conjecture).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) for the sequential substrates: loser
+// tree multiway merging, branchless partitioning, Batcher network sorting,
+// Feistel permutation evaluation, bucket-grouping search. These measure real
+// host time (not virtual time) — they are the constants behind the machine
+// model calibration.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "grouping/bucket_grouping.hpp"
+#include "prng/feistel.hpp"
+#include "seq/multiway_merge.hpp"
+#include "seq/partition.hpp"
+#include "seq/sorting_network.hpp"
+
+namespace {
+
+using namespace pmps;
+
+void BM_MultiwayMerge(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::int64_t n = 1 << 16;
+  Xoshiro256 rng(1);
+  std::vector<std::vector<std::uint64_t>> runs(static_cast<std::size_t>(k));
+  for (auto& r : runs) {
+    r.resize(static_cast<std::size_t>(n / k));
+    for (auto& v : r) v = rng();
+    std::sort(r.begin(), r.end());
+  }
+  for (auto _ : state) {
+    auto merged = seq::multiway_merge(runs);
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MultiwayMerge)->Arg(2)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Partition(benchmark::State& state) {
+  const int buckets = static_cast<int>(state.range(0));
+  const std::int64_t n = 1 << 16;
+  Xoshiro256 rng(2);
+  std::vector<std::uint64_t> input(static_cast<std::size_t>(n));
+  for (auto& v : input) v = rng();
+  std::vector<TaggedKey<std::uint64_t>> splitters;
+  for (int i = 1; i < buckets; ++i)
+    splitters.push_back(TaggedKey<std::uint64_t>{
+        static_cast<std::uint64_t>(i) * (~0ull / static_cast<unsigned>(buckets)),
+        0, i});
+  seq::BucketClassifier<std::uint64_t> cls(splitters);
+  for (auto _ : state) {
+    auto part = seq::partition_into_buckets(
+        std::span<const std::uint64_t>(input.data(), input.size()), 0, cls);
+    benchmark::DoNotOptimize(part.elements.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Partition)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StdSortReference(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> input(static_cast<std::size_t>(n));
+  for (auto& v : input) v = rng();
+  for (auto _ : state) {
+    auto copy = input;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdSortReference)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_NetworkSort(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Xoshiro256 rng(4);
+  std::vector<std::uint64_t> input(static_cast<std::size_t>(n));
+  for (auto& v : input) v = rng();
+  for (auto _ : state) {
+    auto copy = input;
+    seq::network_sort(std::span<std::uint64_t>(copy.data(), copy.size()));
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NetworkSort)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Feistel(benchmark::State& state) {
+  prng::FeistelPermutation perm(static_cast<std::uint64_t>(state.range(0)), 7);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm(i));
+    i = (i + 1) % perm.size();
+  }
+}
+BENCHMARK(BM_Feistel)->Arg(1024)->Arg(1 << 20);
+
+void BM_BucketGrouping(benchmark::State& state) {
+  const int buckets = static_cast<int>(state.range(0));
+  Xoshiro256 rng(5);
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(buckets));
+  for (auto& s : sizes) s = static_cast<std::int64_t>(rng.bounded(10000)) + 1;
+  const int r = buckets / 16;
+  for (auto _ : state) {
+    auto res = grouping::group_buckets_optimal(sizes, std::max(r, 1));
+    benchmark::DoNotOptimize(res.max_load);
+  }
+}
+BENCHMARK(BM_BucketGrouping)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BucketGroupingNaive(benchmark::State& state) {
+  const int buckets = static_cast<int>(state.range(0));
+  Xoshiro256 rng(5);
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(buckets));
+  for (auto& s : sizes) s = static_cast<std::int64_t>(rng.bounded(10000)) + 1;
+  const int r = buckets / 16;
+  for (auto _ : state) {
+    auto res = grouping::group_buckets_naive(sizes, std::max(r, 1));
+    benchmark::DoNotOptimize(res.max_load);
+  }
+}
+BENCHMARK(BM_BucketGroupingNaive)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace

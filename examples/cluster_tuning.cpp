@@ -1,0 +1,61 @@
+// Choosing the number of levels for a machine (§5, §7.2): the basic tuning
+// parameter of the multi-level algorithms. This example sweeps k for a few
+// cluster shapes and input sizes on the simulated machine and prints the
+// winner, illustrating the paper's guidance: more levels pay off for small
+// n/p on large p; one level suffices for huge n/p.
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "ams/level_config.hpp"
+#include "harness/runner.hpp"
+#include "harness/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmps;
+  (void)argc;
+  (void)argv;
+
+  harness::Table table(
+      {"p", "n/p", "k=1 [s]", "k=2 [s]", "k=3 [s]", "winner"});
+  for (int p : {16, 64, 256}) {
+    for (std::int64_t n : {std::int64_t{500}, std::int64_t{20000}}) {
+      std::vector<std::string> row{std::to_string(p), std::to_string(n)};
+      double best = std::numeric_limits<double>::infinity();
+      int best_k = 0;
+      for (int k = 1; k <= 3; ++k) {
+        if (static_cast<std::size_t>(k) >
+            ams::level_group_counts(p, k).size() + 1 && k > 1) {
+          row.push_back("-");
+          continue;
+        }
+        harness::RunConfig cfg;
+        cfg.p = p;
+        cfg.n_per_pe = n;
+        cfg.algorithm = harness::Algorithm::kAms;
+        cfg.ams.levels = k;
+        cfg.seed = 1234;
+        const auto res = harness::run_sort_experiment(cfg);
+        if (!res.check.ok()) {
+          std::fprintf(stderr, "verification failed\n");
+          return 1;
+        }
+        row.push_back(harness::format_double(res.wall_time(), 5));
+        if (res.wall_time() < best) {
+          best = res.wall_time();
+          best_k = k;
+        }
+      }
+      row.push_back("k=" + std::to_string(best_k));
+      table.add_row(std::move(row));
+    }
+  }
+  table.print();
+  std::printf(
+      "\nGuidance (paper §5): pick r per level to match the machine "
+      "hierarchy — e.g. the last level node-internal (16 PEs/node), and "
+      "split the remaining factor as ᵏ⁻¹√(p/16) per level.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: sort 64-bit integers distributed over a simulated cluster
+// with AMS-sort, verify the result, and inspect the phase-timed report.
+//
+// Build & run:   ./examples/quickstart [p] [n_per_pe]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "ams/ams_sort.hpp"
+#include "harness/verify.hpp"
+#include "net/comm.hpp"
+#include "net/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pmps;
+
+  const int p = argc > 1 ? std::atoi(argv[1]) : 64;
+  const std::int64_t n_per_pe = argc > 2 ? std::atoll(argv[2]) : 10000;
+
+  // 1. Describe the machine. supermuc_like() models the paper's cluster
+  //    (16-core nodes, islands, 4:1 pruned inter-island tree).
+  const auto machine = net::MachineParams::supermuc_like();
+
+  // 2. Build the simulated cluster: p PEs, each an SPMD thread.
+  net::Engine engine(p, machine, /*seed=*/42);
+
+  // 3. Run the same program on every PE — exactly like an MPI rank.
+  engine.run([&](net::Comm& comm) {
+    // Generate this PE's local input.
+    Xoshiro256 rng(42, static_cast<std::uint64_t>(comm.rank()));
+    std::vector<std::uint64_t> data(static_cast<std::size_t>(n_per_pe));
+    for (auto& v : data) v = rng();
+
+    const auto in_hash = harness::content_hash(
+        std::span<const std::uint64_t>(data.data(), data.size()));
+
+    // Sort! Two levels of recursion; everything else defaults to the
+    // paper's configuration (b = 16, a = 1.6 log10 n, simple delivery).
+    ams::AmsConfig cfg;
+    cfg.levels = 2;
+    const auto stats = ams::ams_sort(comm, data, cfg);
+
+    // Verify the global sort invariants (free of charge).
+    const auto check = harness::verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()),
+        in_hash, n_per_pe);
+    if (comm.rank() == 0) {
+      std::printf("sorted %lld elements on %d PEs: %s\n",
+                  static_cast<long long>(check.total), p,
+                  check.ok() ? "OK" : "FAILED");
+      std::printf("output imbalance: %.3f%%\n", check.imbalance * 100);
+      for (std::size_t lvl = 0; lvl < stats.sample_sizes.size(); ++lvl) {
+        std::printf("level %zu: sample size %lld, max group load %lld\n",
+                    lvl + 1,
+                    static_cast<long long>(stats.sample_sizes[lvl]),
+                    static_cast<long long>(stats.max_group_load[lvl]));
+      }
+    }
+  });
+
+  // 4. Inspect the virtual-time report (what the modelled cluster would
+  //    have measured).
+  const auto report = engine.report();
+  std::printf("\nvirtual wall-time: %.6f s\n", report.wall_time);
+  std::printf("  splitter selection: %.6f s\n",
+              report.phase(net::Phase::kSplitterSelection));
+  std::printf("  bucket processing:  %.6f s\n",
+              report.phase(net::Phase::kBucketProcessing));
+  std::printf("  data delivery:      %.6f s\n",
+              report.phase(net::Phase::kDataDelivery));
+  std::printf("  local sort:         %.6f s\n",
+              report.phase(net::Phase::kLocalSort));
+  std::printf("max messages sent by one PE: %lld\n",
+              static_cast<long long>(report.max_messages_sent));
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Level configuration: how many groups r to form on each recursion level.
+//
+// The paper picks r ≈ ᵏ√p asymptotically but adapts to the machine hierarchy
+// (§5): in the weak-scaling experiments (§7.2, Table 1) the *last* level
+// always splits groups of 16 MPI processes into single processes so that the
+// final exchange is node-internal, and for 3 levels the first split uses
+// 2^⌈L/2⌉ groups where L = log2(p/16). This module reproduces that rule and
+// provides a generic fallback for arbitrary p.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "net/machine.hpp"
+
+namespace pmps::ams {
+
+/// Nearest divisor of `n` to `target` (prefers the smaller on ties).
+inline std::int64_t nearest_divisor(std::int64_t n, std::int64_t target) {
+  PMPS_CHECK(n >= 1);
+  std::int64_t best = 1;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d != 0) continue;
+    for (std::int64_t c : {d, n / d}) {
+      if (std::abs(c - target) < std::abs(best - target) ||
+          (std::abs(c - target) == std::abs(best - target) && c < best)) {
+        best = c;
+      }
+    }
+  }
+  return best;
+}
+
+/// Group counts r_1..r_k per level with Π r_i = p.
+///
+/// Reproduces the paper's Table 1 when p is a power of two and a multiple of
+/// `pes_per_node`: the last level splits node-sized groups (r_k =
+/// pes_per_node) and the remaining factor p/pes_per_node is divided among
+/// the first k−1 levels as 2^⌈L/(k−1)⌉-style near-equal powers of two,
+/// larger factors first. Otherwise falls back to near-equal divisors around
+/// ᵏ√p.
+inline std::vector<int> level_group_counts(std::int64_t p, int k,
+                                           int pes_per_node = 16) {
+  PMPS_CHECK(p >= 1 && k >= 1);
+  if (k == 1) return {static_cast<int>(p)};
+
+  std::vector<int> rs;
+  if (is_pow2(p) && pes_per_node > 1 && is_pow2(pes_per_node) &&
+      p % pes_per_node == 0 && p / pes_per_node >= 2) {
+    const int L = floor_log2(static_cast<std::uint64_t>(p / pes_per_node));
+    // Split L bits over k−1 levels, larger exponents first (Table 1).
+    int remaining_bits = L;
+    for (int i = 0; i < k - 1; ++i) {
+      const int levels_left = k - 1 - i;
+      const int bits = (remaining_bits + levels_left - 1) / levels_left;
+      rs.push_back(1 << bits);
+      remaining_bits -= bits;
+    }
+    rs.push_back(pes_per_node);
+    // If p/pes_per_node had fewer than k−1 factors of 2, drop 1-groups.
+    std::vector<int> cleaned;
+    for (int r : rs)
+      if (r > 1) cleaned.push_back(r);
+    if (cleaned.empty()) cleaned.push_back(static_cast<int>(p));
+    return cleaned;
+  }
+
+  // Generic fallback: peel near-ᵏ√p divisors.
+  std::int64_t remaining = p;
+  for (int i = 0; i < k && remaining > 1; ++i) {
+    const int levels_left = k - i;
+    std::int64_t target = kth_root(remaining, levels_left);
+    if (levels_left == 1) target = remaining;
+    std::int64_t r = nearest_divisor(remaining, target);
+    if (r <= 1) r = remaining;  // no useful divisor: finish here
+    if (i == k - 1) r = remaining;
+    rs.push_back(static_cast<int>(r));
+    remaining /= r;
+  }
+  PMPS_CHECK(remaining == 1);
+  return rs;
+}
+
+/// Machine-adapted level configuration (§5): "we may also fix p′ based on
+/// architectural properties" — split at the machine's natural boundaries.
+/// With p spanning multiple islands this yields three levels
+/// (islands → nodes → cores): the first, most expensive exchange crosses
+/// the pruned inter-island tree exactly once, all further exchanges stay
+/// island- resp. node-internal. Falls back to the generic rule when p does
+/// not align with the hierarchy.
+inline std::vector<int> level_group_counts_for_machine(
+    std::int64_t p, const net::MachineParams& machine) {
+  const std::int64_t node = machine.pes_per_node;
+  const std::int64_t island = machine.pes_per_island();
+
+  std::vector<int> rs;
+  std::int64_t span = p;  // PEs per group as we descend
+  if (span > island && span % island == 0) {
+    rs.push_back(static_cast<int>(span / island));  // split into islands
+    span = island;
+  }
+  if (span > node && span % node == 0) {
+    rs.push_back(static_cast<int>(span / node));  // split into nodes
+    span = node;
+  }
+  if (span > 1) rs.push_back(static_cast<int>(span));  // node-internal
+
+  std::int64_t prod = 1;
+  for (int r : rs) prod *= r;
+  if (prod != p || rs.empty()) {
+    return level_group_counts(p, p > island ? 3 : (p > node ? 2 : 1),
+                              machine.pes_per_node);
+  }
+  return rs;
+}
+
+}  // namespace pmps::ams

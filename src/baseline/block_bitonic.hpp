@@ -1,0 +1,92 @@
+// Block-wise Batcher odd-even mergesort across PEs — the "prohibitive
+// communication volume" end of the spectrum the paper's introduction rules
+// out for large machines: O(log² p) comparator rounds, and the *entire*
+// local block crosses the network at every comparator the PE participates
+// in, so each element moves Θ(log² p) times.
+//
+// Classic construction: every PE holds a sorted block; a comparator (i, j)
+// of the p-wire network becomes a merge–split — PEs i and j exchange
+// blocks, merge, PE i keeps the lower |B_i| elements and PE j the upper
+// |B_j|. By the 0-1 principle, running Batcher's odd-even mergesort network
+// over the blocks sorts globally. The merge–split reduction is only valid
+// for *equal* block sizes (the classic requirement), which the
+// implementation checks.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "net/comm.hpp"
+#include "seq/small_sort.hpp"
+#include "seq/sorting_network.hpp"
+
+namespace pmps::baseline {
+
+/// Sorts the distributed data with a block-wise odd-even mergesort.
+/// Requires equal block sizes on every PE (checked); every PE keeps its
+/// count. O(log² p) rounds; the motivating anti-baseline for §1.
+template <typename T, typename Less = std::less<T>>
+void block_bitonic_sort(net::Comm& comm, std::vector<T>& data, Less less = {}) {
+  using net::Phase;
+  const auto& machine = comm.machine();
+  const int p = comm.size();
+  {
+    net::FreeModeGuard guard(comm.ctx());
+    const auto mx = coll::allreduce_one<std::int64_t>(
+        comm, static_cast<std::int64_t>(data.size()),
+        [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+    PMPS_CHECK_MSG(mx == static_cast<std::int64_t>(data.size()),
+                   "block bitonic sort requires equal block sizes");
+  }
+
+  coll::barrier(comm);
+  comm.set_phase(Phase::kLocalSort);
+  seq::local_sort(std::span<T>(data.data(), data.size()), less);
+  comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+  comm.set_phase(Phase::kOther);
+  if (p == 1) return;
+
+  // p-wire comparator schedule (virtual wires ≥ p hold +inf blocks and are
+  // skipped, cf. seq::network_sort).
+  const auto network = seq::odd_even_mergesort_network(
+      static_cast<std::int64_t>(next_pow2(static_cast<std::uint64_t>(p))));
+  const std::uint64_t tag = comm.next_tag_block();
+
+  std::uint64_t step = 0;
+  for (const auto& [lo, hi] : network) {
+    ++step;
+    if (hi >= p) continue;
+    const int me = comm.rank();
+    if (me != lo && me != hi) continue;
+    const bool keep_low = me == lo;
+    const int partner = keep_low ? static_cast<int>(hi) : static_cast<int>(lo);
+
+    comm.set_phase(Phase::kDataDelivery);
+    comm.send<T>(partner, tag + step, std::span<const T>(data.data(), data.size()));
+    auto other = comm.recv<T>(partner, tag + step);
+
+    comm.set_phase(Phase::kBucketProcessing);
+    // Merge–split: keep my block size from the lower/upper end.
+    std::vector<T> merged(data.size() + other.size());
+    std::merge(data.begin(), data.end(), other.begin(), other.end(),
+               merged.begin(), less);
+    comm.charge(machine.merge_cost(
+        static_cast<std::int64_t>(merged.size()), 2));
+    if (keep_low) {
+      data.assign(merged.begin(),
+                  merged.begin() + static_cast<std::ptrdiff_t>(data.size()));
+    } else {
+      data.assign(merged.end() - static_cast<std::ptrdiff_t>(data.size()),
+                  merged.end());
+    }
+    comm.set_phase(Phase::kOther);
+  }
+}
+
+}  // namespace pmps::baseline

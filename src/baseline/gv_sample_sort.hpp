@@ -1,0 +1,140 @@
+// Gerbessiotis–Valiant-style multi-level sample sort [13] — the starting
+// point the paper improves on (§6): "However, they use centralized sorting
+// of the sample and their data redistribution may lead to some processors
+// receiving Ω(p) messages."
+//
+// This baseline keeps the multi-level structure of AMS-sort but
+//   * sorts the sample *centrally*: gather to rank 0, sequential sort,
+//     broadcast of the splitters (the O(p log p / ε²) sample regime, no
+//     overpartitioning, imbalance bounded only by oversampling);
+//   * delivers data with the naive prefix-sum scheme and no randomization
+//     (the §4.3 worst cases apply).
+//
+// It exists for the ablation in bench/ablation_splitter: at equal sample
+// sizes the centralized sample sort becomes the bottleneck as p grows,
+// which is precisely why AMS-sort uses the fast work-inefficient sorter.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ams/level_config.hpp"
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "delivery/delivery.hpp"
+#include "net/comm.hpp"
+#include "seq/partition.hpp"
+#include "seq/small_sort.hpp"
+
+namespace pmps::baseline {
+
+struct GvConfig {
+  std::vector<int> group_counts;  ///< empty → level_group_counts(p, levels)
+  int levels = 2;
+  double oversampling_a = 16;  ///< samples per splitter (no overpartitioning)
+  std::uint64_t seed = 1;
+};
+
+namespace detail {
+
+template <typename T, typename Less>
+void gv_level(net::Comm& comm, std::vector<T>& data, const GvConfig& cfg,
+              const std::vector<int>& rs, std::size_t level, Less less) {
+  using net::Phase;
+  const auto& machine = comm.machine();
+
+  if (comm.size() == 1 || level >= rs.size()) {
+    coll::barrier(comm);
+    comm.set_phase(Phase::kLocalSort);
+    seq::local_sort(std::span<T>(data.data(), data.size()), less);
+    comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+    comm.set_phase(Phase::kOther);
+    return;
+  }
+  const int p = comm.size();
+  const int r = rs[level];
+  PMPS_CHECK(r >= 2 && p % r == 0);
+
+  // --- splitter selection: CENTRALISED sample sort -------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kSplitterSelection);
+  const auto per_pe = static_cast<std::int64_t>(
+      std::ceil(cfg.oversampling_a * static_cast<double>(r) /
+                static_cast<double>(p))) +
+                      1;
+  std::vector<TaggedKey<T>> sample;
+  for (std::int64_t i = 0; i < per_pe && !data.empty(); ++i) {
+    const auto idx = comm.rng().bounded(data.size());
+    sample.push_back(TaggedKey<T>{data[static_cast<std::size_t>(idx)],
+                                  comm.rank(),
+                                  static_cast<std::int64_t>(idx)});
+  }
+  auto tless = [less](const TaggedKey<T>& a, const TaggedKey<T>& b) {
+    if (less(a.key, b.key)) return true;
+    if (less(b.key, a.key)) return false;
+    if (a.pe != b.pe) return a.pe < b.pe;
+    return a.index < b.index;
+  };
+  // Gather the whole sample on rank 0, sort sequentially, pick splitters.
+  auto parts = coll::gatherv(
+      comm, std::span<const TaggedKey<T>>(sample.data(), sample.size()), 0);
+  std::vector<TaggedKey<T>> splitters;
+  if (comm.rank() == 0) {
+    std::vector<TaggedKey<T>> all;
+    for (auto& v : parts) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end(), tless);
+    comm.charge(machine.sort_cost(static_cast<std::int64_t>(all.size())));
+    const auto S = static_cast<std::int64_t>(all.size());
+    PMPS_CHECK(S >= r);
+    for (int j = 1; j < r; ++j)
+      splitters.push_back(all[static_cast<std::size_t>(j * S / r)]);
+  }
+  coll::bcast(comm, splitters, 0);
+
+  // --- partition into exactly r pieces (no overpartitioning) ---------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kBucketProcessing);
+  seq::BucketClassifier<T, Less> classifier(std::move(splitters), less);
+  auto part = seq::partition_into_buckets(
+      std::span<const T>(data.data(), data.size()), comm.rank(), classifier);
+  comm.charge(machine.partition_cost(static_cast<std::int64_t>(data.size()), r));
+
+  // --- naive delivery --------------------------------------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kDataDelivery);
+  auto runs = delivery::deliver(
+      comm, std::span<const T>(part.elements.data(), part.elements.size()),
+      part.sizes, delivery::Algo::kSimple, cfg.seed + level);
+  std::size_t total = 0;
+  for (const auto& rn : runs) total += rn.size();
+  data.clear();
+  data.reserve(total);
+  for (auto& rn : runs) data.insert(data.end(), rn.begin(), rn.end());
+  comm.set_phase(Phase::kOther);
+
+  net::Comm sub = comm.split_consecutive(r);
+  gv_level(sub, data, cfg, rs, level + 1, less);
+}
+
+}  // namespace detail
+
+/// Multi-level sample sort with centralized splitter generation [13].
+template <typename T, typename Less = std::less<T>>
+void gv_sample_sort(net::Comm& comm, std::vector<T>& data,
+                    const GvConfig& cfg = {}, Less less = {}) {
+  std::vector<int> rs = cfg.group_counts;
+  if (rs.empty())
+    rs = ams::level_group_counts(comm.size(), cfg.levels,
+                                 comm.machine().pes_per_node);
+  std::int64_t prod = 1;
+  for (int r : rs) prod *= r;
+  PMPS_CHECK_MSG(prod == comm.size(), "group counts must multiply to p");
+  detail::gv_level(comm, data, cfg, rs, 0, less);
+}
+
+}  // namespace pmps::baseline

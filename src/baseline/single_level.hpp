@@ -1,0 +1,226 @@
+// Single-level baselines (paper §1, §3, §7.3).
+//
+//  sample_sort_1l — classic parallel sample sort [6] with *centralised*
+//      splitter generation (the TritonSort / Baidu-Sort approach, §3): an
+//      a·p sample is gathered and sorted via a merging gather, p−1
+//      equidistant splitters are broadcast, data is partitioned and moved
+//      with one dense all-to-all (p−1 startups per PE), then sorted locally.
+//      No overpartitioning: imbalance only bounded by oversampling (the
+//      O(1/ε²) sample regime the paper improves on).
+//
+//  mergesort_1l — single-level p-way multiway mergesort [36, 33]: local
+//      sort, exact p−1-way multisequence selection (perfect balance), dense
+//      all-to-all, p-way loser-tree merge.
+//
+//  mpsort_like — models MP-sort [12]: identical data movement to
+//      mergesort_1l but the final "merge" sorts the received data from
+//      scratch, discarding the sortedness of the incoming runs. §7.3 uses
+//      this as the slow large-scale comparator.
+//
+// All three move the data exactly once but pay Θ(p) message startups per PE
+// in the exchange — the scalability wall that motivates the multi-level
+// algorithms.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/types.hpp"
+#include "net/comm.hpp"
+#include "select/multiselect.hpp"
+#include "seq/multiway_merge.hpp"
+#include "seq/partition.hpp"
+#include "seq/small_sort.hpp"
+
+namespace pmps::baseline {
+
+using net::Comm;
+using net::Phase;
+
+struct SingleLevelConfig {
+  double oversampling_a = 0;  ///< sample per PE for sample sort; 0 → 2·ln p + 16
+  coll::Schedule exchange = coll::Schedule::kOneFactor;
+  std::uint64_t seed = 1;
+};
+
+namespace detail {
+
+template <typename T, typename Less>
+bool tagged_less(const TaggedKey<T>& a, const TaggedKey<T>& b, Less less) {
+  if (less(a.key, b.key)) return true;
+  if (less(b.key, a.key)) return false;
+  if (a.pe != b.pe) return a.pe < b.pe;
+  return a.index < b.index;
+}
+
+/// Dense exchange of per-destination pieces (contiguous in `elements` with
+/// `sizes`/`offsets`), returning the received runs.
+template <typename T>
+std::vector<std::vector<T>> dense_exchange(
+    Comm& comm, const std::vector<T>& elements,
+    const std::vector<std::int64_t>& sizes,
+    const std::vector<std::int64_t>& offsets, coll::Schedule sched) {
+  const int p = comm.size();
+  std::vector<std::vector<T>> send(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    const auto off = static_cast<std::size_t>(offsets[static_cast<std::size_t>(i)]);
+    const auto sz = static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]);
+    send[static_cast<std::size_t>(i)].assign(elements.begin() + off,
+                                             elements.begin() + off + sz);
+  }
+  return coll::alltoallv(comm, std::move(send), sched);
+}
+
+}  // namespace detail
+
+/// Classic single-level sample sort; returns nothing but leaves `data`
+/// sorted and distributed (imbalance depends on the sample quality).
+template <typename T, typename Less = std::less<T>>
+void sample_sort_1l(Comm& comm, std::vector<T>& data,
+                    const SingleLevelConfig& cfg = {}, Less less = {}) {
+  const auto& machine = comm.machine();
+  const int p = comm.size();
+  if (p == 1) {
+    seq::local_sort(std::span<T>(data.data(), data.size()), less);
+    comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+    return;
+  }
+  auto tless = [less](const TaggedKey<T>& a, const TaggedKey<T>& b) {
+    return detail::tagged_less(a, b, less);
+  };
+
+  // --- splitter selection (centralised) -------------------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kSplitterSelection);
+  const double a = cfg.oversampling_a > 0
+                       ? cfg.oversampling_a
+                       : 2.0 * std::log(static_cast<double>(p)) + 16.0;
+  const auto per_pe = static_cast<std::int64_t>(std::ceil(a));
+  std::vector<TaggedKey<T>> sample;
+  for (std::int64_t i = 0; i < per_pe && !data.empty(); ++i) {
+    const auto idx = comm.rng().bounded(data.size());
+    sample.push_back(TaggedKey<T>{data[static_cast<std::size_t>(idx)],
+                                  comm.rank(),
+                                  static_cast<std::int64_t>(idx)});
+  }
+  std::sort(sample.begin(), sample.end(), tless);
+  comm.charge(machine.sort_cost(static_cast<std::int64_t>(sample.size())));
+  auto all = coll::allgather_merge(
+      comm, std::span<const TaggedKey<T>>(sample.data(), sample.size()),
+      tless);
+  std::vector<TaggedKey<T>> splitters;
+  const auto S = static_cast<std::int64_t>(all.size());
+  PMPS_CHECK(S >= p);
+  for (int j = 1; j < p; ++j)
+    splitters.push_back(all[static_cast<std::size_t>(j * S / p)]);
+
+  // --- bucket processing: partition into p pieces ---------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kBucketProcessing);
+  seq::BucketClassifier<T, Less> classifier(std::move(splitters), less);
+  auto part = seq::partition_into_buckets(
+      std::span<const T>(data.data(), data.size()), comm.rank(), classifier);
+  comm.charge(machine.partition_cost(static_cast<std::int64_t>(data.size()), p));
+
+  // --- data delivery: dense all-to-all (p−1 startups) -----------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kDataDelivery);
+  auto runs = detail::dense_exchange(comm, part.elements, part.sizes,
+                                     part.offsets, cfg.exchange);
+
+  // --- local sort ------------------------------------------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kLocalSort);
+  std::size_t total = 0;
+  for (const auto& rn : runs) total += rn.size();
+  data.clear();
+  data.reserve(total);
+  for (auto& rn : runs) data.insert(data.end(), rn.begin(), rn.end());
+  seq::local_sort(std::span<T>(data.data(), data.size()), less);
+  comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+  comm.set_phase(Phase::kOther);
+}
+
+/// Single-level multiway mergesort with exact splitting.
+/// If `sort_from_scratch` is true this degenerates to the MP-sort model:
+/// received runs are concatenated and re-sorted instead of merged.
+template <typename T, typename Less = std::less<T>>
+void mergesort_1l(Comm& comm, std::vector<T>& data,
+                  const SingleLevelConfig& cfg = {}, Less less = {},
+                  bool sort_from_scratch = false) {
+  const auto& machine = comm.machine();
+  const int p = comm.size();
+
+  coll::barrier(comm);
+  comm.set_phase(Phase::kLocalSort);
+  seq::local_sort(std::span<T>(data.data(), data.size()), less);
+  comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+  if (p == 1) {
+    comm.set_phase(Phase::kOther);
+    return;
+  }
+
+  // --- splitter selection: p−1 exact ranks ----------------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kSplitterSelection);
+  const std::int64_t n_total = coll::allreduce_add_one(
+      comm, static_cast<std::int64_t>(data.size()));
+  std::vector<std::int64_t> ranks;
+  for (int i = 1; i < p; ++i) ranks.push_back(chunk_begin(n_total, p, i));
+  const auto sel = select::multiselect(
+      comm, std::span<const T>(data.data(), data.size()), ranks, less);
+
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(p), 0);
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(p), 0);
+  {
+    std::int64_t prev = 0;
+    for (int i = 0; i < p; ++i) {
+      const std::int64_t end =
+          i + 1 < p ? sel.split_positions[static_cast<std::size_t>(i)]
+                    : static_cast<std::int64_t>(data.size());
+      offsets[static_cast<std::size_t>(i)] = prev;
+      sizes[static_cast<std::size_t>(i)] = end - prev;
+      prev = end;
+    }
+  }
+
+  // --- data delivery ----------------------------------------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kDataDelivery);
+  auto runs = detail::dense_exchange(comm, data, sizes, offsets, cfg.exchange);
+
+  // --- bucket processing: p-way merge (or sort from scratch à la MP-sort) ---
+  coll::barrier(comm);
+  comm.set_phase(Phase::kBucketProcessing);
+  if (sort_from_scratch) {
+    std::size_t total = 0;
+    for (const auto& rn : runs) total += rn.size();
+    data.clear();
+    data.reserve(total);
+    for (auto& rn : runs) data.insert(data.end(), rn.begin(), rn.end());
+    seq::local_sort(std::span<T>(data.data(), data.size()), less);
+    comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+  } else {
+    data = seq::multiway_merge(runs, less);
+    comm.charge(machine.merge_cost(
+        static_cast<std::int64_t>(data.size()),
+        static_cast<std::int64_t>(std::max<std::size_t>(runs.size(), 1))));
+  }
+  comm.set_phase(Phase::kOther);
+}
+
+/// MP-sort model [12]: mergesort_1l data movement, sort-from-scratch merge.
+template <typename T, typename Less = std::less<T>>
+void mpsort_like(Comm& comm, std::vector<T>& data,
+                 const SingleLevelConfig& cfg = {}, Less less = {}) {
+  mergesort_1l(comm, data, cfg, less, /*sort_from_scratch=*/true);
+}
+
+}  // namespace pmps::baseline

@@ -1,0 +1,533 @@
+// Collective operations on top of Comm point-to-point messages.
+//
+// Costs are *emergent*: every collective is built from p2p sends/recvs, so
+// the virtual-time cost of, e.g., an allreduce is Θ(α log p + βℓ) — the
+// bounds the paper quotes from [2, 30] — without any hand-inserted charges.
+//
+// Provided (all SPMD-collective over the communicator):
+//   barrier                — dissemination barrier, Θ(α log p)
+//   bcast / bcast_one      — binomial tree
+//   reduce_add/allreduce_add, allreduce (generic op) — elementwise on vectors
+//   exscan_add             — vector-valued exclusive prefix sum (dissemination)
+//   gatherv / allgatherv   — binomial gather (+ broadcast)
+//   allgather_merge        — gossip of *sorted* runs, merging at every
+//                            combine step (the modified allGather of §4.2)
+//   alltoallv              — dense irregular exchange; Schedule::kDirect posts
+//                            every pair (p−1 startups, like mpich), Schedule::
+//                            kOneFactor runs the 1-factor algorithm [31] and
+//                            omits empty messages (§7.1)
+//   sparse_exchange        — NBX-style sparse all-to-all: only actual
+//                            messages are charged plus an α log p
+//                            termination-detection barrier; used by the data
+//                            delivery algorithms of §4.3 so that their O(r)
+//                            startup guarantees are visible in virtual time.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/types.hpp"
+#include "net/comm.hpp"
+
+namespace pmps::coll {
+
+using net::Comm;
+
+// ---------------------------------------------------------------------------
+// barrier
+// ---------------------------------------------------------------------------
+
+/// Dissemination barrier: ⌈log2 p⌉ rounds; also synchronises virtual clocks
+/// (every PE ends no earlier than any other PE's entry time).
+inline void barrier(Comm& comm) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const std::uint64_t tag = comm.next_tag_block();
+  const std::byte token{0};
+  for (int round = 0, step = 1; step < p; ++round, step <<= 1) {
+    const int dest = (comm.rank() + step) % p;
+    const int src = (comm.rank() - step % p + p) % p;
+    comm.send<std::byte>(dest, tag + static_cast<std::uint64_t>(round),
+                         std::span<const std::byte>(&token, 1));
+    (void)comm.recv<std::byte>(src, tag + static_cast<std::uint64_t>(round));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// broadcast
+// ---------------------------------------------------------------------------
+
+template <Sortable T>
+void bcast(Comm& comm, std::vector<T>& data, int root = 0) {
+  const int p = comm.size();
+  if (p == 1) return;
+  const std::uint64_t tag = comm.next_tag_block();
+  const int vrank = (comm.rank() - root + p) % p;  // root becomes vrank 0
+
+  const std::uint64_t top = next_pow2(static_cast<std::uint64_t>(p));
+  const std::uint64_t lowbit =
+      vrank == 0 ? top : static_cast<std::uint64_t>(vrank & -vrank);
+  if (vrank != 0) {
+    const int vparent = vrank - static_cast<int>(lowbit);
+    const int parent = (vparent + root) % p;
+    data = comm.recv<T>(parent, tag + static_cast<std::uint64_t>(vrank));
+  }
+  for (std::uint64_t m = lowbit >> 1; m >= 1; m >>= 1) {
+    const int vchild = vrank + static_cast<int>(m);
+    if (vchild < p) {
+      comm.send<T>((vchild + root) % p, tag + static_cast<std::uint64_t>(vchild),
+                   std::span<const T>(data));
+    }
+    if (m == 1) break;
+  }
+}
+
+template <Sortable T>
+T bcast_one(Comm& comm, T value, int root = 0) {
+  std::vector<T> v{value};
+  bcast(comm, v, root);
+  return v[0];
+}
+
+// ---------------------------------------------------------------------------
+// reduce / allreduce (elementwise on equal-length vectors)
+// ---------------------------------------------------------------------------
+
+/// Binomial-tree reduction to `root`; `op(a, b)` combines elementwise.
+template <Sortable T, typename Op>
+std::vector<T> reduce(Comm& comm, std::vector<T> local, Op op, int root = 0) {
+  const int p = comm.size();
+  if (p == 1) return local;
+  const std::uint64_t tag = comm.next_tag_block();
+  const int vrank = (comm.rank() - root + p) % p;
+
+  for (int step = 1; step < p; step <<= 1) {
+    if ((vrank & step) != 0) {
+      const int vdest = vrank - step;
+      comm.send<T>((vdest + root) % p, tag + static_cast<std::uint64_t>(vrank),
+                   std::span<const T>(local));
+      break;
+    }
+    const int vsrc = vrank + step;
+    if (vsrc < p) {
+      auto other = comm.recv<T>((vsrc + root) % p,
+                                tag + static_cast<std::uint64_t>(vsrc));
+      PMPS_CHECK(other.size() == local.size());
+      comm.charge(comm.machine().compare_cost_n(
+          static_cast<std::int64_t>(local.size())));
+      for (std::size_t i = 0; i < local.size(); ++i)
+        local[i] = op(local[i], other[i]);
+    }
+  }
+  return local;  // meaningful only on root
+}
+
+template <Sortable T, typename Op>
+std::vector<T> allreduce(Comm& comm, std::vector<T> local, Op op) {
+  auto result = reduce(comm, std::move(local), op, /*root=*/0);
+  bcast(comm, result, /*root=*/0);
+  return result;
+}
+
+inline std::vector<std::int64_t> allreduce_add(
+    Comm& comm, std::vector<std::int64_t> local) {
+  return allreduce(comm, std::move(local), std::plus<std::int64_t>{});
+}
+
+template <Sortable T>
+T allreduce_one(Comm& comm, T value, auto op) {
+  std::vector<T> v{value};
+  v = allreduce(comm, std::move(v), op);
+  return v[0];
+}
+
+inline std::int64_t allreduce_add_one(Comm& comm, std::int64_t v) {
+  return allreduce_one(comm, v, std::plus<std::int64_t>{});
+}
+
+// ---------------------------------------------------------------------------
+// exclusive prefix sums (vector-valued, addition)
+// ---------------------------------------------------------------------------
+
+/// Dissemination (Hillis–Steele) scan: ⌈log2 p⌉ rounds of length-ℓ messages,
+/// i.e. Θ((α + βℓ) log p); the paper's vector-valued prefix sums.
+/// Returns the *exclusive* prefix (sum over ranks < rank()).
+inline std::vector<std::int64_t> exscan_add(
+    Comm& comm, const std::vector<std::int64_t>& local) {
+  const int p = comm.size();
+  const std::size_t len = local.size();
+  std::vector<std::int64_t> incl = local;
+  if (p > 1) {
+    const std::uint64_t tag = comm.next_tag_block();
+    for (int round = 0, step = 1; step < p; ++round, step <<= 1) {
+      if (comm.rank() + step < p) {
+        comm.send<std::int64_t>(comm.rank() + step,
+                                tag + static_cast<std::uint64_t>(round),
+                                std::span<const std::int64_t>(incl));
+      }
+      if (comm.rank() - step >= 0) {
+        auto part = comm.recv<std::int64_t>(
+            comm.rank() - step, tag + static_cast<std::uint64_t>(round));
+        PMPS_CHECK(part.size() == len);
+        for (std::size_t i = 0; i < len; ++i) incl[i] += part[i];
+      }
+    }
+  }
+  std::vector<std::int64_t> excl(len);
+  for (std::size_t i = 0; i < len; ++i) excl[i] = incl[i] - local[i];
+  return excl;
+}
+
+inline std::int64_t exscan_add_one(Comm& comm, std::int64_t v) {
+  std::vector<std::int64_t> x{v};
+  return exscan_add(comm, x)[0];
+}
+
+// ---------------------------------------------------------------------------
+// gather / allgather
+// ---------------------------------------------------------------------------
+
+/// Binomial gather of variable-length contributions. On `root` the result
+/// holds one entry per source rank (in rank order); elsewhere it is empty.
+template <Sortable T>
+std::vector<std::vector<T>> gatherv(Comm& comm, std::span<const T> local,
+                                    int root = 0) {
+  const int p = comm.size();
+  const std::uint64_t tag = comm.next_tag_block();
+  const int vrank = (comm.rank() - root + p) % p;
+
+  // Each PE accumulates (vrank, payload) pairs; serialise as
+  // [count | vrank sizes... | data...] to keep it a single message per edge.
+  std::vector<std::pair<int, std::vector<T>>> acc;
+  acc.emplace_back(vrank, std::vector<T>(local.begin(), local.end()));
+
+  for (int step = 1; step < p; step <<= 1) {
+    if ((vrank & step) != 0) {
+      // Serialise and send to parent.
+      std::vector<std::int64_t> header;
+      header.push_back(static_cast<std::int64_t>(acc.size()));
+      for (auto& [r, v] : acc) {
+        header.push_back(r);
+        header.push_back(static_cast<std::int64_t>(v.size()));
+      }
+      std::vector<T> payload;
+      for (auto& [r, v] : acc)
+        payload.insert(payload.end(), v.begin(), v.end());
+      const int vdest = vrank - step;
+      comm.send<std::int64_t>(
+          (vdest + root) % p, tag + 2 * static_cast<std::uint64_t>(vrank),
+          std::span<const std::int64_t>(header));
+      comm.send<T>((vdest + root) % p,
+                   tag + 2 * static_cast<std::uint64_t>(vrank) + 1,
+                   std::span<const T>(payload));
+      break;
+    }
+    const int vsrc = vrank + step;
+    if (vsrc < p) {
+      auto header = comm.recv<std::int64_t>(
+          (vsrc + root) % p, tag + 2 * static_cast<std::uint64_t>(vsrc));
+      auto payload = comm.recv<T>(
+          (vsrc + root) % p, tag + 2 * static_cast<std::uint64_t>(vsrc) + 1);
+      std::size_t off = 0;
+      const auto cnt = static_cast<std::size_t>(header[0]);
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const int r = static_cast<int>(header[1 + 2 * i]);
+        const auto sz = static_cast<std::size_t>(header[2 + 2 * i]);
+        acc.emplace_back(r, std::vector<T>(payload.begin() + off,
+                                           payload.begin() + off + sz));
+        off += sz;
+      }
+    }
+  }
+
+  std::vector<std::vector<T>> out;
+  if (comm.rank() == root) {
+    out.resize(static_cast<std::size_t>(p));
+    for (auto& [r, v] : acc) out[static_cast<std::size_t>(r)] = std::move(v);
+  }
+  return out;
+}
+
+/// allgatherv = gather to 0 + broadcast. Every PE gets all contributions in
+/// rank order.
+template <Sortable T>
+std::vector<std::vector<T>> allgatherv(Comm& comm, std::span<const T> local) {
+  const int p = comm.size();
+  auto parts = gatherv(comm, local, /*root=*/0);
+
+  // Broadcast flattened data + sizes.
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(p));
+  std::vector<T> flat;
+  if (comm.rank() == 0) {
+    for (int i = 0; i < p; ++i) {
+      sizes[static_cast<std::size_t>(i)] =
+          static_cast<std::int64_t>(parts[static_cast<std::size_t>(i)].size());
+      flat.insert(flat.end(), parts[static_cast<std::size_t>(i)].begin(),
+                  parts[static_cast<std::size_t>(i)].end());
+    }
+  }
+  bcast(comm, sizes, 0);
+  bcast(comm, flat, 0);
+
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
+  std::size_t off = 0;
+  for (int i = 0; i < p; ++i) {
+    const auto sz = static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]);
+    out[static_cast<std::size_t>(i)].assign(flat.begin() + off,
+                                            flat.begin() + off + sz);
+    off += sz;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// allgather-merge (the gossip of §4.2)
+// ---------------------------------------------------------------------------
+
+/// All-gather of locally *sorted* runs where combining merges instead of
+/// concatenating, so every intermediate and the final result are sorted.
+/// Power-of-two sizes use the hypercube gossip the paper cites from [21];
+/// other sizes fall back to a merging binomial gather plus broadcast
+/// (footnote 3 of the paper).
+template <Sortable T, typename Less = std::less<T>>
+std::vector<T> allgather_merge(Comm& comm, std::span<const T> local_sorted,
+                               Less less = {}) {
+  const int p = comm.size();
+  std::vector<T> cur(local_sorted.begin(), local_sorted.end());
+  PMPS_ASSERT(std::is_sorted(cur.begin(), cur.end(), less));
+  if (p == 1) return cur;
+
+  auto merge2 = [&comm, &less](std::vector<T>& a, std::vector<T>& b) {
+    std::vector<T> out(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), less);
+    comm.charge(comm.machine().merge_cost(
+        static_cast<std::int64_t>(out.size()), 2));
+    return out;
+  };
+
+  if (is_pow2(p)) {
+    const std::uint64_t tag = comm.next_tag_block();
+    for (int round = 0, step = 1; step < p; ++round, step <<= 1) {
+      const int partner = comm.rank() ^ step;
+      comm.send<T>(partner, tag + static_cast<std::uint64_t>(round),
+                   std::span<const T>(cur));
+      auto other =
+          comm.recv<T>(partner, tag + static_cast<std::uint64_t>(round));
+      cur = merge2(cur, other);
+    }
+    return cur;
+  }
+
+  // Non-power-of-two: binomial gather with merging, then broadcast.
+  const std::uint64_t tag = comm.next_tag_block();
+  const int vrank = comm.rank();
+  for (int step = 1; step < p; step <<= 1) {
+    if ((vrank & step) != 0) {
+      comm.send<T>(vrank - step, tag + static_cast<std::uint64_t>(vrank),
+                   std::span<const T>(cur));
+      break;
+    }
+    if (vrank + step < p) {
+      auto other = comm.recv<T>(
+          vrank + step, tag + static_cast<std::uint64_t>(vrank + step));
+      cur = merge2(cur, other);
+    }
+  }
+  bcast(comm, cur, 0);
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// dense all-to-all of counts (Bruck) and irregular all-to-all of payloads
+// ---------------------------------------------------------------------------
+
+/// Alltoall of one int64 per pair using Bruck's algorithm: ⌈log2 p⌉ rounds
+/// of ≤ p/2 entries each, i.e. Θ((α + βp) log p) instead of p startups.
+/// Returns recv[i] = the value rank i sent to us.
+inline std::vector<std::int64_t> alltoall_counts(
+    Comm& comm, const std::vector<std::int64_t>& send) {
+  const int p = comm.size();
+  PMPS_CHECK(static_cast<int>(send.size()) == p);
+  if (p == 1) return send;
+  const int me = comm.rank();
+  const std::uint64_t tag = comm.next_tag_block();
+
+  // Local rotation: tmp[j] = my value for dest (me + j) mod p. Position j
+  // always holds data whose remaining travel distance has exactly the
+  // not-yet-processed bits of j.
+  std::vector<std::int64_t> tmp(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j)
+    tmp[static_cast<std::size_t>(j)] =
+        send[static_cast<std::size_t>((me + j) % p)];
+
+  std::vector<std::int64_t> block;
+  for (int k = 0, step = 1; step < p; ++k, step <<= 1) {
+    block.clear();
+    for (int j = 0; j < p; ++j)
+      if ((j & step) != 0) block.push_back(tmp[static_cast<std::size_t>(j)]);
+    const int to = (me + step) % p;
+    const int from = (me - step + p) % p;
+    comm.send<std::int64_t>(to, tag + static_cast<std::uint64_t>(k),
+                            std::span<const std::int64_t>(block));
+    auto in = comm.recv<std::int64_t>(from, tag + static_cast<std::uint64_t>(k));
+    std::size_t idx = 0;
+    for (int j = 0; j < p; ++j)
+      if ((j & step) != 0) tmp[static_cast<std::size_t>(j)] = in[idx++];
+  }
+
+  // Position j now holds the value that travelled j hops, i.e. from rank
+  // (me − j) mod p.
+  std::vector<std::int64_t> recv(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j)
+    recv[static_cast<std::size_t>((me - j + p) % p)] =
+        tmp[static_cast<std::size_t>(j)];
+  return recv;
+}
+
+enum class Schedule {
+  kDirect,     ///< post all p−1 pairs, empty messages included (mpich-like)
+  kOneFactor,  ///< 1-factor pairing [31], empty messages omitted (§7.1)
+};
+
+/// Dense alltoallv: `send[i]` goes to rank i; returns the received buffers
+/// indexed by source rank. The self part is moved locally (copy cost only).
+/// Receive sizes are known to both endpoints after a Bruck counts exchange
+/// (charged), mirroring how MPI_Alltoallv callers first alltoall the counts.
+template <Sortable T>
+std::vector<std::vector<T>> alltoallv(Comm& comm,
+                                      std::vector<std::vector<T>> send,
+                                      Schedule sched = Schedule::kOneFactor) {
+  const int p = comm.size();
+  PMPS_CHECK(static_cast<int>(send.size()) == p);
+  std::vector<std::vector<T>> recv(static_cast<std::size_t>(p));
+  const int me = comm.rank();
+  recv[static_cast<std::size_t>(me)] =
+      std::move(send[static_cast<std::size_t>(me)]);
+  send[static_cast<std::size_t>(me)].clear();
+  comm.charge(comm.machine().copy_cost(
+      recv[static_cast<std::size_t>(me)].size() * sizeof(T)));
+  if (p == 1) return recv;
+
+  if (sched == Schedule::kDirect) {
+    const std::uint64_t tag = comm.next_tag_block();
+    // Shifted order so PEs do not all start with the same destination.
+    for (int i = 1; i < p; ++i) {
+      const int dest = (me + i) % p;
+      comm.send<T>(dest, tag + static_cast<std::uint64_t>(me),
+                   std::span<const T>(send[static_cast<std::size_t>(dest)]));
+    }
+    for (int i = 1; i < p; ++i) {
+      const int src = (me - i + p) % p;
+      recv[static_cast<std::size_t>(src)] =
+          comm.recv<T>(src, tag + static_cast<std::uint64_t>(src));
+    }
+    return recv;
+  }
+
+  // 1-factor algorithm [31]: p−1 (p even) or p (p odd) rounds of disjoint
+  // pairs; rounds where both directions are empty cost nothing.
+  std::vector<std::int64_t> out_counts(static_cast<std::size_t>(p), 0);
+  for (int i = 0; i < p; ++i)
+    out_counts[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(send[static_cast<std::size_t>(i)].size());
+  const std::vector<std::int64_t> in_counts = alltoall_counts(comm, out_counts);
+
+  const std::uint64_t tag = comm.next_tag_block();
+  const bool even = (p % 2) == 0;
+  const int rounds = even ? p - 1 : p;
+  for (int r = 0; r < rounds; ++r) {
+    int partner;
+    if (even) {
+      const int m = p - 1;
+      if (me == p - 1) {
+        partner =
+            static_cast<int>((static_cast<std::int64_t>(r) * (p / 2)) % m);
+      } else {
+        const int q = ((r - me) % m + m) % m;
+        partner = (q == me) ? p - 1 : q;
+      }
+    } else {
+      partner = ((r - me) % p + p) % p;
+      if (partner == me) continue;  // idle round
+    }
+    const auto& out = send[static_cast<std::size_t>(partner)];
+    if (!out.empty()) {
+      comm.send<T>(partner, tag + static_cast<std::uint64_t>(r),
+                   std::span<const T>(out));
+    }
+    if (in_counts[static_cast<std::size_t>(partner)] > 0) {
+      recv[static_cast<std::size_t>(partner)] =
+          comm.recv<T>(partner, tag + static_cast<std::uint64_t>(r));
+      PMPS_CHECK(static_cast<std::int64_t>(
+                     recv[static_cast<std::size_t>(partner)].size()) ==
+                 in_counts[static_cast<std::size_t>(partner)]);
+    }
+  }
+  return recv;
+}
+
+// ---------------------------------------------------------------------------
+// sparse exchange (NBX-style)
+// ---------------------------------------------------------------------------
+
+/// One outgoing message of a sparse exchange.
+template <Sortable T>
+struct OutMessage {
+  int dest_rank;
+  std::vector<T> data;
+};
+
+/// Sparse all-to-all: each PE sends an arbitrary set of messages; receivers
+/// do not know the senders in advance. Mirrors the NBX algorithm (dynamic
+/// sparse data exchange): only the actual messages are charged, plus a
+/// Θ(α log p) termination-detection barrier. The sender/receiver sets are
+/// resolved out of band (uncharged), which is what NBX's speculative
+/// receive loop achieves on a real machine.
+///
+/// Returns (source rank, payload) pairs sorted by source rank; messages from
+/// the same source keep their send order via an index.
+template <Sortable T>
+std::vector<std::pair<int, std::vector<T>>> sparse_exchange(
+    Comm& comm, const std::vector<OutMessage<T>>& outgoing) {
+  const int p = comm.size();
+  const std::uint64_t tag = comm.next_tag_block();
+
+  // --- out-of-band: who receives how many messages (uncharged) -------------
+  std::vector<std::int64_t> in_count(static_cast<std::size_t>(p), 0);
+  {
+    net::FreeModeGuard free_guard(comm.ctx());
+    std::vector<std::int64_t> out_count(static_cast<std::size_t>(p), 0);
+    for (const auto& m : outgoing)
+      out_count[static_cast<std::size_t>(m.dest_rank)] += 1;
+    in_count = alltoall_counts(comm, out_count);
+  }
+
+  // --- charged: the real messages ------------------------------------------
+  std::vector<std::int64_t> seq_per_dest(static_cast<std::size_t>(p), 0);
+  for (const auto& m : outgoing) {
+    const auto k = static_cast<std::uint64_t>(
+        seq_per_dest[static_cast<std::size_t>(m.dest_rank)]++);
+    comm.send<T>(m.dest_rank, tag + k, std::span<const T>(m.data));
+  }
+
+  std::vector<std::pair<int, std::vector<T>>> incoming;
+  for (int src = 0; src < p; ++src) {
+    for (std::int64_t k = 0; k < in_count[static_cast<std::size_t>(src)];
+         ++k) {
+      incoming.emplace_back(
+          src, comm.recv<T>(src, tag + static_cast<std::uint64_t>(k)));
+    }
+  }
+
+  // Termination detection (NBX ibarrier), charged.
+  barrier(comm);
+  return incoming;
+}
+
+}  // namespace pmps::coll

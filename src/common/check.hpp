@@ -1,0 +1,36 @@
+// Runtime checking macros used throughout pmps.
+//
+// PMPS_CHECK is always on (library invariants, cheap); PMPS_ASSERT compiles
+// out in NDEBUG builds (hot-path sanity checks).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pmps {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "pmps check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pmps
+
+#define PMPS_CHECK(expr)                                      \
+  do {                                                        \
+    if (!(expr)) ::pmps::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PMPS_CHECK_MSG(expr, msg)                             \
+  do {                                                        \
+    if (!(expr)) ::pmps::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PMPS_ASSERT(expr) ((void)0)
+#else
+#define PMPS_ASSERT(expr) PMPS_CHECK(expr)
+#endif

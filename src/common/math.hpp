@@ -1,0 +1,60 @@
+// Small integer math helpers shared by the sorting algorithms.
+
+#pragma once
+
+#include <cstdint>
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace pmps {
+
+/// ceil(a / b) for non-negative a, positive b.
+constexpr std::int64_t div_ceil(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Smallest power of two >= x.
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return x <= 1 ? 1 : std::uint64_t{1} << ceil_log2(x);
+}
+
+/// Integer k-th root: largest r with r^k <= x (k >= 1).
+inline std::int64_t kth_root(std::int64_t x, int k) {
+  PMPS_CHECK(x >= 0 && k >= 1);
+  if (k == 1 || x <= 1) return x;
+  std::int64_t r = 1;
+  while (true) {
+    // Test (r+1)^k <= x without overflow for the scales we use (x <= 2^40).
+    std::int64_t v = 1;
+    bool over = false;
+    for (int i = 0; i < k; ++i) {
+      v *= (r + 1);
+      if (v > x) { over = true; break; }
+    }
+    if (over) return r;
+    ++r;
+  }
+}
+
+/// Splits the range [0, n) into `parts` consecutive chunks that differ in
+/// size by at most one; returns the begin of chunk `i` (chunk i is
+/// [chunk_begin(n,parts,i), chunk_begin(n,parts,i+1))).
+constexpr std::int64_t chunk_begin(std::int64_t n, std::int64_t parts,
+                                   std::int64_t i) {
+  return i * (n / parts) + std::min<std::int64_t>(i, n % parts);
+}
+
+}  // namespace pmps

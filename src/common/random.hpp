@@ -1,0 +1,86 @@
+// Deterministic, fast PRNG used everywhere in pmps.
+//
+// We use xoshiro256** (public domain, Blackman & Vigna) instead of
+// std::mt19937_64: it is faster, has a tiny state, and — important for an
+// SPMD runtime — is trivially seedable per PE via splitmix64 so that
+// independent PEs get decorrelated streams from a single user seed.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pmps {
+
+/// splitmix64: used to expand a single seed into stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix, handy as a hash for tie breaking and checksums.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Decorrelated per-PE stream: hash the (seed, stream) pair.
+  Xoshiro256(std::uint64_t seed, std::uint64_t stream)
+      : Xoshiro256(mix64(seed) ^ mix64(stream * 0x9e3779b97f4a7c15ULL + 1)) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return ((*this)() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace pmps

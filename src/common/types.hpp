@@ -1,0 +1,62 @@
+// Element types and comparison utilities.
+//
+// The library sorts any trivially copyable type with a strict weak order.
+// The paper's experiments use 64-bit integers; the Sort-Benchmark style
+// example uses 100-byte records with a 10-byte key (Record100).
+//
+// Tie breaking (paper Appendix D): conceptually every element's key is the
+// triple (key, origin PE, origin index), which makes keys unique without
+// storing the triple. Splitters *do* carry their origin (TaggedKey) so that
+// partitioning can break ties lexicographically; see src/seq/partition.hpp.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pmps {
+
+template <typename T>
+concept Sortable = std::is_trivially_copyable_v<T>;
+
+/// A sort key augmented with its global origin, used for splitters.
+/// Ordering is lexicographic on (key, pe, index): two equal keys from
+/// different positions compare by position, which implements the implicit
+/// (x, y, z) tie-breaking scheme of Appendix D.
+template <typename T>
+struct TaggedKey {
+  T key;
+  std::int32_t pe;     ///< PE the element originated from
+  std::int64_t index;  ///< position within that PE's input
+
+  friend bool operator<(const TaggedKey& a, const TaggedKey& b) {
+    if (a.key < b.key) return true;
+    if (b.key < a.key) return false;
+    if (a.pe != b.pe) return a.pe < b.pe;
+    return a.index < b.index;
+  }
+  friend bool operator==(const TaggedKey& a, const TaggedKey& b) {
+    return !(a < b) && !(b < a);
+  }
+};
+
+/// 100-byte record with a 10-byte key — the Sort Benchmark record format
+/// used by TritonSort / Baidu-Sort (paper §7.3).
+struct Record100 {
+  std::array<std::uint8_t, 10> key;
+  std::array<std::uint8_t, 90> payload;
+
+  friend bool operator<(const Record100& a, const Record100& b) {
+    return std::memcmp(a.key.data(), b.key.data(), 10) < 0;
+  }
+  friend bool operator==(const Record100& a, const Record100& b) {
+    return std::memcmp(a.key.data(), b.key.data(), 10) == 0;
+  }
+};
+static_assert(sizeof(Record100) == 100);
+static_assert(std::is_trivially_copyable_v<Record100>);
+
+}  // namespace pmps

@@ -1,0 +1,539 @@
+// Data delivery (paper §4.3, §4.3.1 and Appendix A).
+//
+// Each PE holds its local data partitioned into r consecutive pieces; piece
+// g must be moved to PE group g (ranks [g·p/r, (g+1)·p/r)), and every PE of
+// a group must receive (nearly) the same amount of data using only O(r)
+// message startups per PE. Four algorithms:
+//
+//  kSimple          — plain vector-valued prefix sum over piece sizes;
+//                     element j of group g goes to the ⌈j/(m_g/p')⌉-th PE of
+//                     the group. O(2r) sends per PE, but adversarial inputs
+//                     (many consecutive senders with tiny pieces, Fig. 3 top)
+//                     can concentrate Ω(p) *received* messages on one PE.
+//  kRandomized      — the prefix sum enumerates senders in pseudorandom
+//                     order (Feistel permutation, Appendix B), breaking the
+//                     consecutive-tiny-pieces pattern (Fig. 3 bottom).
+//                     (The paper permutes per group; we use one global
+//                     sender permutation, which breaks the same adversarial
+//                     correlation with a single reordered prefix sum.)
+//  kDeterministic   — the two-phase algorithm of §4.3.1 (Theorem 1): small
+//                     pieces (≤ n/2pr) are assigned whole, r per receiver;
+//                     large pieces are placed into the residual capacities
+//                     by merging two prefix-sum sequences. Receivers get
+//                     ≤ r small + ≤ 2r large pieces: O(r) startups
+//                     guaranteed. (The group-internal merge is performed as
+//                     an allgather of O(p) descriptors per group plus an
+//                     identical local merge, replacing the Batcher-network
+//                     merge of [15]; the assignment produced is the same —
+//                     see DESIGN.md.)
+//  kAdvancedRandomized — Appendix A (Theorem 4): pieces larger than
+//                     s = a·n/(rp) are chopped into size-s fragments that
+//                     are *delegated* to pseudorandom PEs for enumeration;
+//                     origins are notified of their fragments' position
+//                     ranges and ship data directly. With high probability
+//                     ≤ 1 + 2r(1+1/a) received messages per PE.
+//
+// All variants ship payloads with coll::sparse_exchange, so their startup
+// guarantees are directly observable in the simulator's message statistics
+// (tests assert them).
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "net/comm.hpp"
+#include "prng/feistel.hpp"
+
+namespace pmps::delivery {
+
+using net::Comm;
+
+enum class Algo {
+  kSimple,
+  kRandomized,
+  kDeterministic,
+  kAdvancedRandomized,
+};
+
+inline const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kSimple: return "simple";
+    case Algo::kRandomized: return "randomized";
+    case Algo::kDeterministic: return "deterministic";
+    case Algo::kAdvancedRandomized: return "advanced-randomized";
+  }
+  return "?";
+}
+
+namespace detail {
+
+/// Chunk index of position `pos` when [0, m) is split into `parts` chunks
+/// via chunk_begin (first m%parts chunks one element larger).
+inline std::int64_t chunk_of(std::int64_t m, std::int64_t parts,
+                             std::int64_t pos) {
+  PMPS_ASSERT(pos >= 0 && pos < m);
+  const std::int64_t base = m / parts;
+  const std::int64_t rem = m % parts;
+  if (base == 0) return pos;  // chunks of size 1 then 0
+  const std::int64_t big_span = rem * (base + 1);
+  if (pos < big_span) return pos / (base + 1);
+  return rem + (pos - big_span) / base;
+}
+
+/// Emits sends for one contiguous piece occupying positions
+/// [pos, pos + len) of group g's stream of m elements, split across the
+/// group's p_prime receivers by chunk boundaries.
+template <typename T>
+void emit_piece(std::span<const T> piece, int group, std::int64_t pos,
+                std::int64_t m, std::int64_t p_prime,
+                std::vector<coll::OutMessage<T>>& out) {
+  std::int64_t done = 0;
+  const auto len = static_cast<std::int64_t>(piece.size());
+  while (done < len) {
+    const std::int64_t q = chunk_of(m, p_prime, pos + done);
+    const std::int64_t q_end = chunk_begin(m, p_prime, q + 1);
+    const std::int64_t take = std::min(len - done, q_end - (pos + done));
+    PMPS_ASSERT(take > 0);
+    const int dest =
+        group * static_cast<int>(p_prime) + static_cast<int>(q);
+    out.push_back(coll::OutMessage<T>{
+        dest, std::vector<T>(piece.begin() + done,
+                             piece.begin() + done + take)});
+    done += take;
+  }
+}
+
+/// Prefix offsets of the local pieces within the local data span.
+inline std::vector<std::int64_t> local_offsets(
+    const std::vector<std::int64_t>& sizes) {
+  std::vector<std::int64_t> off(sizes.size() + 1, 0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) off[i + 1] = off[i] + sizes[i];
+  return off;
+}
+
+}  // namespace detail
+
+/// Common entry: `data` holds r consecutive pieces of sizes `piece_sizes`
+/// (piece g destined for group g); requires size() % r == 0. Returns the
+/// received runs (each a contiguous fragment of some sender's piece; if the
+/// sender's data was sorted, each run is sorted).
+template <typename T>
+std::vector<std::vector<T>> deliver(Comm& comm, std::span<const T> data,
+                                    const std::vector<std::int64_t>& piece_sizes,
+                                    Algo algo, std::uint64_t seed = 1);
+
+// ---------------------------------------------------------------------------
+// simple & randomized
+// ---------------------------------------------------------------------------
+
+template <typename T>
+std::vector<std::vector<T>> deliver_simple_impl(
+    Comm& comm, std::span<const T> data,
+    const std::vector<std::int64_t>& piece_sizes, bool permute_senders,
+    std::uint64_t seed) {
+  const int p = comm.size();
+  const int r = static_cast<int>(piece_sizes.size());
+  PMPS_CHECK(r >= 1 && p % r == 0);
+  const std::int64_t p_prime = p / r;
+
+  std::vector<std::int64_t> off;
+  if (!permute_senders) {
+    off = coll::exscan_add(comm, piece_sizes);
+  } else {
+    // Enumerate senders in pseudorandom order: run the prefix sum on a
+    // communicator whose ranks are permuted by a Feistel PRP (replicated
+    // state, no communication needed to agree on it — Appendix B).
+    prng::FeistelPermutation perm(static_cast<std::uint64_t>(p), seed);
+    Comm permuted = comm.split(
+        0, static_cast<int>(perm(static_cast<std::uint64_t>(comm.rank()))));
+    off = coll::exscan_add(permuted, piece_sizes);
+  }
+  const auto m = coll::allreduce_add(comm, piece_sizes);
+
+  const auto loc = detail::local_offsets(piece_sizes);
+  std::vector<coll::OutMessage<T>> out;
+  for (int g = 0; g < r; ++g) {
+    if (piece_sizes[static_cast<std::size_t>(g)] == 0) continue;
+    detail::emit_piece(
+        data.subspan(static_cast<std::size_t>(loc[static_cast<std::size_t>(g)]),
+                     static_cast<std::size_t>(
+                         piece_sizes[static_cast<std::size_t>(g)])),
+        g, off[static_cast<std::size_t>(g)], m[static_cast<std::size_t>(g)],
+        p_prime, out);
+  }
+
+  auto incoming = coll::sparse_exchange(comm, out);
+  std::vector<std::vector<T>> runs;
+  runs.reserve(incoming.size());
+  for (auto& [src, payload] : incoming) runs.push_back(std::move(payload));
+  return runs;
+}
+
+// ---------------------------------------------------------------------------
+// deterministic two-phase (§4.3.1)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct PieceDesc {
+  std::int32_t sender;  ///< comm rank of the owner
+  std::int32_t group;
+  std::int64_t size;
+};
+
+/// Assignment of one (possibly split) piece fragment.
+struct FragmentAssign {
+  std::int32_t group;
+  std::int64_t piece_offset;  ///< offset within the sender's piece
+  std::int64_t len;
+  std::int32_t dest;  ///< comm rank to ship to
+};
+
+}  // namespace detail
+
+template <typename T>
+std::vector<std::vector<T>> deliver_deterministic(
+    Comm& comm, std::span<const T> data,
+    const std::vector<std::int64_t>& piece_sizes) {
+  using detail::PieceDesc;
+  const int p = comm.size();
+  const int r = static_cast<int>(piece_sizes.size());
+  PMPS_CHECK(r >= 1 && p % r == 0);
+  const std::int64_t p_prime = p / r;
+  const int my_group = comm.rank() / static_cast<int>(p_prime);
+
+  const auto m = coll::allreduce_add(comm, piece_sizes);
+  std::int64_t n_total = 0;
+  for (auto v : m) n_total += v;
+  // Threshold between small and large pieces: n/(2pr).
+  const std::int64_t small_limit =
+      std::max<std::int64_t>(1, n_total / (2 * static_cast<std::int64_t>(p) *
+                                           static_cast<std::int64_t>(r)));
+
+  // Send every piece's descriptor to PE ⌊sender/r⌋ of its target group —
+  // the Exch(p, O(r), r) descriptor exchange of §4.3.1. (Pieces of size 0
+  // are ignored entirely.)
+  std::vector<coll::OutMessage<PieceDesc>> desc_out;
+  for (int g = 0; g < r; ++g) {
+    if (piece_sizes[static_cast<std::size_t>(g)] == 0) continue;
+    const int within = comm.rank() / r;  // ⌊i/r⌋, capped to the group size
+    const int holder =
+        g * static_cast<int>(p_prime) +
+        std::min<int>(within, static_cast<int>(p_prime) - 1);
+    desc_out.push_back(coll::OutMessage<PieceDesc>{
+        holder,
+        {PieceDesc{comm.rank(), g, piece_sizes[static_cast<std::size_t>(g)]}}});
+  }
+  auto desc_in = coll::sparse_exchange(comm, desc_out);
+
+  // Group-internal: allgather the descriptors so every member can compute
+  // the identical assignment (replaces the Batcher-network merge of [15]).
+  Comm group = comm.split_consecutive(r);
+  std::vector<PieceDesc> flat;
+  for (auto& [src, v] : desc_in)
+    flat.insert(flat.end(), v.begin(), v.end());
+  auto gathered = coll::allgatherv(
+      group, std::span<const PieceDesc>(flat.data(), flat.size()));
+  std::vector<PieceDesc> pieces;
+  for (auto& v : gathered) pieces.insert(pieces.end(), v.begin(), v.end());
+  // Deterministic order: by sender rank (each sender has ≤ 1 piece/group).
+  std::sort(pieces.begin(), pieces.end(),
+            [](const PieceDesc& a, const PieceDesc& b) {
+              return a.sender < b.sender;
+            });
+  comm.charge(comm.machine().compare_cost_n(
+      static_cast<std::int64_t>(pieces.size()) *
+      ceil_log2(std::max<std::uint64_t>(pieces.size(), 2))));
+
+  // --- identical local computation of the assignment for `my_group` -------
+  const std::int64_t mg = m[static_cast<std::size_t>(my_group)];
+  std::vector<detail::FragmentAssign> assigns;  // for pieces of my group
+  {
+    // Phase 1: small pieces, numbered in sender order; small piece i goes
+    // whole to PE ⌊i/r⌋ of the group.
+    std::vector<std::int64_t> small_load(static_cast<std::size_t>(p_prime), 0);
+    std::int64_t small_idx = 0;
+    for (const auto& pc : pieces) {
+      if (pc.size > small_limit) continue;
+      const auto q = static_cast<std::size_t>(
+          std::min<std::int64_t>(small_idx / r, p_prime - 1));
+      small_load[q] += pc.size;
+      assigns.push_back(detail::FragmentAssign{
+          pc.group, 0, pc.size,
+          my_group * static_cast<int>(p_prime) + static_cast<int>(q)});
+      ++small_idx;
+    }
+    // Phase 2: large pieces into residual capacities, in sender order. The
+    // merge of capacity prefix sums (X) and piece-size prefix sums (Y) is
+    // realised by walking receivers and pieces simultaneously.
+    std::vector<std::int64_t> residual(static_cast<std::size_t>(p_prime));
+    for (std::int64_t q = 0; q < p_prime; ++q) {
+      const std::int64_t quota =
+          chunk_begin(mg, p_prime, q + 1) - chunk_begin(mg, p_prime, q);
+      residual[static_cast<std::size_t>(q)] =
+          std::max<std::int64_t>(0, quota - small_load[static_cast<std::size_t>(q)]);
+    }
+    std::int64_t q = 0;
+    for (const auto& pc : pieces) {
+      if (pc.size <= small_limit) continue;
+      std::int64_t remaining = pc.size;
+      std::int64_t piece_off = 0;
+      while (remaining > 0) {
+        PMPS_CHECK_MSG(q < p_prime, "capacity accounting broke");
+        const std::int64_t take =
+            std::min(remaining, residual[static_cast<std::size_t>(q)]);
+        if (take > 0) {
+          assigns.push_back(detail::FragmentAssign{
+              pc.group, piece_off, take,
+              my_group * static_cast<int>(p_prime) + static_cast<int>(q)});
+          residual[static_cast<std::size_t>(q)] -= take;
+          remaining -= take;
+          piece_off += take;
+        }
+        if (residual[static_cast<std::size_t>(q)] == 0 && remaining > 0) ++q;
+      }
+    }
+  }
+  comm.charge(comm.machine().compare_cost_n(
+      static_cast<std::int64_t>(pieces.size() + assigns.size())));
+
+  // Reply the assignments to the senders (only fragments of *their* pieces).
+  std::vector<coll::OutMessage<detail::FragmentAssign>> reply_out;
+  {
+    // Each member replies for the pieces whose descriptor it held; we know
+    // which ones: sender/r == my rank-within-group (same mapping as above).
+    const int my_within = group.rank();
+    std::size_t ai = 0;
+    // assigns are grouped by piece in `pieces` order; rebuild mapping.
+    std::vector<std::vector<detail::FragmentAssign>> per_sender_frags;
+    std::vector<int> per_sender_rank;
+    // Walk pieces twice in the same order as assignment generation: smalls
+    // then larges.
+    std::vector<const PieceDesc*> order;
+    for (const auto& pc : pieces)
+      if (pc.size <= small_limit) order.push_back(&pc);
+    for (const auto& pc : pieces)
+      if (pc.size > small_limit) order.push_back(&pc);
+    for (const PieceDesc* pc : order) {
+      std::vector<detail::FragmentAssign> frags;
+      std::int64_t covered = 0;
+      while (covered < pc->size) {
+        PMPS_CHECK(ai < assigns.size());
+        frags.push_back(assigns[ai]);
+        covered += assigns[ai].len;
+        ++ai;
+      }
+      PMPS_CHECK(covered == pc->size);
+      const int holder_within =
+          std::min<int>(pc->sender / r, static_cast<int>(p_prime) - 1);
+      if (holder_within == my_within) {
+        reply_out.push_back(coll::OutMessage<detail::FragmentAssign>{
+            pc->sender, std::move(frags)});
+      }
+    }
+    PMPS_CHECK(ai == assigns.size());
+  }
+  auto replies = coll::sparse_exchange(comm, reply_out);
+
+  // Ship the data.
+  const auto loc = detail::local_offsets(piece_sizes);
+  std::vector<coll::OutMessage<T>> out;
+  for (auto& [src, frags] : replies) {
+    for (const auto& f : frags) {
+      const auto base = static_cast<std::size_t>(
+          loc[static_cast<std::size_t>(f.group)] + f.piece_offset);
+      out.push_back(coll::OutMessage<T>{
+          f.dest, std::vector<T>(data.begin() + base,
+                                 data.begin() + base + f.len)});
+    }
+  }
+  auto incoming = coll::sparse_exchange(comm, out);
+  std::vector<std::vector<T>> runs;
+  runs.reserve(incoming.size());
+  for (auto& [src, payload] : incoming) runs.push_back(std::move(payload));
+  return runs;
+}
+
+// ---------------------------------------------------------------------------
+// advanced randomized (Appendix A)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct Delegation {
+  std::int32_t origin;        ///< comm rank owning the data
+  std::int32_t group;
+  std::int64_t piece_offset;  ///< offset of the fragment within the piece
+  std::int64_t size;
+};
+
+struct RangeReply {
+  std::int32_t group;
+  std::int64_t piece_offset;
+  std::int64_t size;
+  std::int64_t position;  ///< start position in the group's stream
+};
+
+}  // namespace detail
+
+template <typename T>
+std::vector<std::vector<T>> deliver_advanced(
+    Comm& comm, std::span<const T> data,
+    const std::vector<std::int64_t>& piece_sizes, std::uint64_t seed) {
+  using detail::Delegation;
+  using detail::RangeReply;
+  const int p = comm.size();
+  const int r = static_cast<int>(piece_sizes.size());
+  PMPS_CHECK(r >= 1 && p % r == 0);
+  const std::int64_t p_prime = p / r;
+
+  const auto m = coll::allreduce_add(comm, piece_sizes);
+  std::int64_t n_total = 0;
+  for (auto v : m) n_total += v;
+
+  // Fragment size limit s = a·n/(rp) with a = Θ(√(r / ln rp)) (Lemma 6).
+  const double ln_rp = std::log(std::max<double>(
+      static_cast<double>(r) * static_cast<double>(p), 2.0));
+  const double a_tune = std::max(
+      1.0, 0.5 * (std::sqrt(1.0 + static_cast<double>(r) / ln_rp) - 1.0));
+  const std::int64_t s = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             a_tune * static_cast<double>(n_total) /
+             (static_cast<double>(r) * static_cast<double>(p))));
+
+  // Chop pieces: fragments of exactly size s are "large" (delegated); the
+  // remainder (< s) stays home.
+  struct LocalFrag {
+    std::int32_t group;
+    std::int64_t piece_offset;
+    std::int64_t size;
+    bool large;
+  };
+  std::vector<LocalFrag> frags;
+  std::vector<std::int64_t> my_large_count(1, 0);
+  for (int g = 0; g < r; ++g) {
+    const std::int64_t sz = piece_sizes[static_cast<std::size_t>(g)];
+    std::int64_t off = 0;
+    while (sz - off >= s && sz > s) {  // only pieces exceeding s are chopped
+      frags.push_back(LocalFrag{g, off, s, true});
+      my_large_count[0] += 1;
+      off += s;
+    }
+    if (sz - off > 0)
+      frags.push_back(LocalFrag{g, off, sz - off, false});
+  }
+
+  // Enumerate large fragments globally and delegate via a Feistel PRP.
+  const std::int64_t my_first_large =
+      coll::exscan_add(comm, my_large_count)[0];
+  const std::int64_t total_large =
+      coll::allreduce_add(comm, my_large_count)[0];
+  prng::FeistelPermutation perm(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(total_large, 1)),
+      seed ^ 0xde1e6a7eULL);
+
+  std::vector<coll::OutMessage<Delegation>> delegate_out;
+  {
+    std::int64_t idx = my_first_large;
+    for (const auto& f : frags) {
+      if (!f.large) continue;
+      const int delegate = static_cast<int>(
+          perm(static_cast<std::uint64_t>(idx)) % static_cast<std::uint64_t>(p));
+      delegate_out.push_back(coll::OutMessage<Delegation>{
+          delegate,
+          {Delegation{comm.rank(), f.group, f.piece_offset, f.size}}});
+      ++idx;
+    }
+  }
+  auto delegated = coll::sparse_exchange(comm, delegate_out);
+
+  // Per-group contribution of this PE: its own small fragments plus the
+  // delegated large fragments it now administers. (The paper additionally
+  // shuffles the local order; sizes are what matters for the prefix sum.)
+  std::vector<std::int64_t> contrib(static_cast<std::size_t>(r), 0);
+  for (const auto& f : frags)
+    if (!f.large) contrib[static_cast<std::size_t>(f.group)] += f.size;
+  for (auto& [src, v] : delegated)
+    for (const auto& d : v) contrib[static_cast<std::size_t>(d.group)] += d.size;
+
+  auto positions = coll::exscan_add(comm, contrib);
+
+  // Assign position ranges: first own small fragments, then delegated ones;
+  // notify origins of their ranges.
+  std::vector<RangeReply> my_small_ranges;
+  std::vector<coll::OutMessage<RangeReply>> reply_out;
+  {
+    std::vector<std::int64_t> cursor = positions;
+    for (const auto& f : frags) {
+      if (f.large) continue;
+      my_small_ranges.push_back(RangeReply{
+          f.group, f.piece_offset, f.size,
+          cursor[static_cast<std::size_t>(f.group)]});
+      cursor[static_cast<std::size_t>(f.group)] += f.size;
+    }
+    for (auto& [src, v] : delegated) {
+      for (const auto& d : v) {
+        reply_out.push_back(coll::OutMessage<RangeReply>{
+            d.origin,
+            {RangeReply{d.group, d.piece_offset, d.size,
+                        cursor[static_cast<std::size_t>(d.group)]}}});
+        cursor[static_cast<std::size_t>(d.group)] += d.size;
+      }
+    }
+  }
+  auto range_replies = coll::sparse_exchange(comm, reply_out);
+
+  // Ship data: own small fragments plus replied large fragments.
+  const auto loc = detail::local_offsets(piece_sizes);
+  std::vector<coll::OutMessage<T>> out;
+  auto emit = [&](const RangeReply& rr) {
+    const auto base = static_cast<std::size_t>(
+        loc[static_cast<std::size_t>(rr.group)] + rr.piece_offset);
+    detail::emit_piece(
+        std::span<const T>(data.data() + base, static_cast<std::size_t>(rr.size)),
+        rr.group, rr.position, m[static_cast<std::size_t>(rr.group)], p_prime,
+        out);
+  };
+  for (const auto& rr : my_small_ranges) emit(rr);
+  for (auto& [src, v] : range_replies)
+    for (const auto& rr : v) emit(rr);
+
+  auto incoming = coll::sparse_exchange(comm, out);
+  std::vector<std::vector<T>> runs;
+  runs.reserve(incoming.size());
+  for (auto& [src, payload] : incoming) runs.push_back(std::move(payload));
+  return runs;
+}
+
+// ---------------------------------------------------------------------------
+// dispatcher
+// ---------------------------------------------------------------------------
+
+template <typename T>
+std::vector<std::vector<T>> deliver(Comm& comm, std::span<const T> data,
+                                    const std::vector<std::int64_t>& piece_sizes,
+                                    Algo algo, std::uint64_t seed) {
+  std::int64_t sum = 0;
+  for (auto v : piece_sizes) sum += v;
+  PMPS_CHECK(sum == static_cast<std::int64_t>(data.size()));
+  switch (algo) {
+    case Algo::kSimple:
+      return deliver_simple_impl(comm, data, piece_sizes, false, seed);
+    case Algo::kRandomized:
+      return deliver_simple_impl(comm, data, piece_sizes, true, seed);
+    case Algo::kDeterministic:
+      return deliver_deterministic(comm, data, piece_sizes);
+    case Algo::kAdvancedRandomized:
+      return deliver_advanced(comm, data, piece_sizes, seed);
+  }
+  PMPS_CHECK(false);
+  return {};
+}
+
+}  // namespace pmps::delivery

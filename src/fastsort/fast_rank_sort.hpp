@@ -1,0 +1,159 @@
+// Fast work-inefficient sorting (paper §4.2).
+//
+// The PEs are arranged as an a×b grid with a, b = O(√p) (for p = 2^P,
+// a = 2^⌈P/2⌉ and b = 2^⌊P/2⌋). Locally sorted elements are gossiped
+// (allgather-with-merge) along rows and columns; PE (i,j) then ranks the
+// elements received from its column against the elements received from its
+// row by merging the two sorted sequences, and summing these local ranks
+// along columns yields every element's global rank. Total time
+// O(α log p + β n/√p + n/p log(n/p))  — Equation (2).
+//
+// AMS-sort uses this to sort its sample and extract splitters with
+// prescribed ranks, so the interface here is rank *selection*: every PE
+// returns the elements whose global ranks match `want_ranks`. Elements are
+// tagged with their origin (PE, index), which makes ranks unique even with
+// duplicate keys (Appendix D).
+//
+// For p that is not a power of two we use the paper's footnote-3 fallback:
+// a merging gather along a binomial tree plus a broadcast of the result.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/types.hpp"
+#include "net/comm.hpp"
+
+namespace pmps::fastsort {
+
+using net::Comm;
+
+namespace detail {
+
+template <typename T>
+struct SelectSlot {
+  std::uint8_t has = 0;
+  TaggedKey<T> value{};
+};
+
+template <typename T>
+SelectSlot<T> pick_slot(const SelectSlot<T>& a, const SelectSlot<T>& b) {
+  return a.has ? a : b;
+}
+
+template <typename T, typename Less>
+bool tagged_less(const TaggedKey<T>& a, const TaggedKey<T>& b, Less less) {
+  if (less(a.key, b.key)) return true;
+  if (less(b.key, a.key)) return false;
+  if (a.pe != b.pe) return a.pe < b.pe;
+  return a.index < b.index;
+}
+
+}  // namespace detail
+
+/// Selects the elements with global (0-based) ranks `want_ranks` from the
+/// distributed input `local`; every PE returns the full selection, ordered
+/// like `want_ranks`. `want_ranks` must be sorted and < the global element
+/// count.
+template <typename T, typename Less = std::less<T>>
+std::vector<TaggedKey<T>> fast_rank_select(
+    Comm& comm, std::span<const T> local,
+    const std::vector<std::int64_t>& want_ranks, Less less = {}) {
+  const auto& machine = comm.machine();
+  auto tless = [less](const TaggedKey<T>& a, const TaggedKey<T>& b) {
+    return detail::tagged_less(a, b, less);
+  };
+
+  // Tag and sort locally.
+  std::vector<TaggedKey<T>> mine;
+  mine.reserve(local.size());
+  for (std::size_t i = 0; i < local.size(); ++i)
+    mine.push_back(TaggedKey<T>{local[i], comm.rank(),
+                                static_cast<std::int64_t>(i)});
+  std::sort(mine.begin(), mine.end(), tless);
+  comm.charge(machine.sort_cost(static_cast<std::int64_t>(mine.size())));
+
+  const int p = comm.size();
+  if (!is_pow2(p)) {
+    // Footnote-3 fallback: merging gather + broadcast, then select locally.
+    auto all = coll::allgather_merge(
+        comm, std::span<const TaggedKey<T>>(mine.data(), mine.size()), tless);
+    std::vector<TaggedKey<T>> out;
+    out.reserve(want_ranks.size());
+    for (std::int64_t k : want_ranks) {
+      PMPS_CHECK(k >= 0 && k < static_cast<std::int64_t>(all.size()));
+      out.push_back(all[static_cast<std::size_t>(k)]);
+    }
+    return out;
+  }
+
+  // Grid shape: a rows × b columns, a = 2^⌈P/2⌉, b = 2^⌊P/2⌋.
+  const int P = floor_log2(static_cast<std::uint64_t>(p));
+  const int a = 1 << ((P + 1) / 2);
+  const int b = 1 << (P / 2);
+  PMPS_CHECK(a * b == p);
+  const int row = comm.rank() / b;
+  const int col = comm.rank() % b;
+
+  Comm row_comm = comm.split(/*color=*/row, /*key=*/col);
+  Comm col_comm = comm.split(/*color=*/a + col, /*key=*/row);
+  PMPS_CHECK(row_comm.size() == b && col_comm.size() == a);
+
+  // Gossip sorted runs along the row and along the column.
+  auto row_data = coll::allgather_merge(
+      row_comm, std::span<const TaggedKey<T>>(mine.data(), mine.size()),
+      tless);
+  auto col_data = coll::allgather_merge(
+      col_comm, std::span<const TaggedKey<T>>(mine.data(), mine.size()),
+      tless);
+
+  // Rank column elements against row elements by a linear merge pass.
+  std::vector<std::int64_t> local_rank(col_data.size());
+  {
+    std::size_t ri = 0;
+    for (std::size_t ci = 0; ci < col_data.size(); ++ci) {
+      while (ri < row_data.size() && tless(row_data[ri], col_data[ci])) ++ri;
+      local_rank[ci] = static_cast<std::int64_t>(ri);
+    }
+    comm.charge(machine.merge_cost(
+        static_cast<std::int64_t>(row_data.size() + col_data.size()), 2));
+  }
+
+  // Sum local ranks along the column: since the rows partition the whole
+  // input, Σ_i rank(e, row_i) is e's global rank. col_data is identical on
+  // every PE of the column, so the vectors align.
+  const auto global_rank = coll::allreduce_add(col_comm, local_rank);
+
+  // Extract the wanted ranks: row 0 of each column contributes matches, a
+  // comm-wide allreduce with "first non-empty wins" distributes them.
+  std::vector<detail::SelectSlot<T>> slots(want_ranks.size());
+  if (row == 0) {
+    for (std::size_t ci = 0; ci < col_data.size(); ++ci) {
+      const auto it = std::lower_bound(want_ranks.begin(), want_ranks.end(),
+                                       global_rank[ci]);
+      if (it != want_ranks.end() && *it == global_rank[ci]) {
+        const auto j = static_cast<std::size_t>(it - want_ranks.begin());
+        slots[j].has = 1;
+        slots[j].value = col_data[ci];
+      }
+    }
+  }
+  slots = coll::allreduce(comm, std::move(slots), detail::pick_slot<T>);
+
+  std::vector<TaggedKey<T>> out;
+  out.reserve(want_ranks.size());
+  for (std::size_t j = 0; j < want_ranks.size(); ++j) {
+    PMPS_CHECK_MSG(slots[j].has, "requested rank exceeds global sample size");
+    out.push_back(slots[j].value);
+  }
+  return out;
+}
+
+}  // namespace pmps::fastsort

@@ -1,0 +1,170 @@
+#include "harness/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace pmps::harness {
+
+namespace {
+
+using net::LinkLevel;
+using net::MachineParams;
+using net::Phase;
+
+constexpr double kWord = 8.0;  // bytes per element (64-bit keys)
+
+/// Worst link level spanned by a communicator of `span` consecutive PEs.
+LinkLevel span_level(const MachineParams& m, std::int64_t span) {
+  if (span <= 1) return LinkLevel::kSelf;
+  if (span <= m.pes_per_node) return LinkLevel::kNode;
+  if (span <= static_cast<std::int64_t>(m.pes_per_island()))
+    return LinkLevel::kIsland;
+  return LinkLevel::kGlobal;
+}
+
+double alpha(const MachineParams& m, LinkLevel l) {
+  return m.alpha[static_cast<int>(l)];
+}
+double beta(const MachineParams& m, LinkLevel l) {
+  return m.beta[static_cast<int>(l)];
+}
+
+double log2d(double x) { return std::log2(std::max(x, 2.0)); }
+
+/// α log p + βℓ-style collective cost on a communicator spanning `span` PEs
+/// exchanging vectors of `words` elements (reduce/bcast/scan shapes).
+double collective(const MachineParams& m, std::int64_t span, double words) {
+  const LinkLevel l = span_level(m, span);
+  const double rounds = log2d(static_cast<double>(span));
+  return rounds * (alpha(m, l) + beta(m, l) * words * kWord);
+}
+
+/// The Exch(span, h, r) term: h words in/out per PE, r startups, plus the
+/// NBX termination detection.
+double exchange(const MachineParams& m, std::int64_t span, double h_words,
+                double startups) {
+  const LinkLevel l = span_level(m, span);
+  return startups * alpha(m, l) + beta(m, l) * h_words * kWord +
+         log2d(static_cast<double>(span)) * alpha(m, l);
+}
+
+}  // namespace
+
+ModelPoint model_ams(const MachineParams& machine, std::int64_t p,
+                     std::int64_t n_per_pe, const std::vector<int>& group_counts,
+                     double a, int b, double epsilon) {
+  PMPS_CHECK(p >= 1 && n_per_pe >= 0);
+  ModelPoint pt;
+  const auto k = group_counts.size();
+  std::int64_t span = p;  // PEs in the current communicator
+  double load = static_cast<double>(n_per_pe);
+  const double n_total =
+      static_cast<double>(p) * static_cast<double>(n_per_pe);
+
+  for (std::size_t lvl = 0; lvl < k; ++lvl) {
+    const int r = group_counts[lvl];
+    const double br = static_cast<double>(b) * r;
+    const LinkLevel l = span_level(machine, span);
+
+    // --- splitter selection: sample + fast sort + splitter broadcast ------
+    const double sample = a * br;  // global sample size on this communicator
+    const double sqrt_span = std::sqrt(static_cast<double>(span));
+    double t_split = 0;
+    t_split += collective(machine, span, 0);                    // allreduce n
+    t_split += alpha(machine, l) * log2d(static_cast<double>(span)) +
+               beta(machine, l) * (sample / sqrt_span) * 3 * kWord;  // gossip
+    t_split += machine.sort_cost(
+        static_cast<std::int64_t>(sample / static_cast<double>(span)) + 1);
+    t_split += collective(machine, span, br * 3);  // splitter distribution
+    pt.add(Phase::kSplitterSelection, t_split);
+
+    // --- bucket processing: partition + bucket-size allreduce + grouping --
+    double t_bucket = machine.partition_cost(
+        static_cast<std::int64_t>(load), static_cast<std::int64_t>(br));
+    t_bucket += collective(machine, span, br);  // allreduce bucket sizes
+    t_bucket += machine.compare_cost_n(
+        static_cast<std::int64_t>(br * log2d(br)));  // scanning search
+    pt.add(Phase::kBucketProcessing, t_bucket);
+
+    // --- data delivery: Exch(span, (1+ε)n/p, O(r)) -------------------------
+    const double eps_lvl = epsilon / static_cast<double>(k);
+    load *= (1.0 + eps_lvl);
+    pt.add(Phase::kDataDelivery,
+           exchange(machine, span, load, 2.0 * r + 2.0));
+
+    span /= r;
+  }
+
+  // --- final local sort ------------------------------------------------------
+  pt.add(Phase::kLocalSort,
+         machine.sort_cost(static_cast<std::int64_t>(load)) +
+             // log n total comparisons depth (final sort dominates)
+             0.0 * n_total);
+  return pt;
+}
+
+ModelPoint model_rlm(const MachineParams& machine, std::int64_t p,
+                     std::int64_t n_per_pe,
+                     const std::vector<int>& group_counts) {
+  PMPS_CHECK(p >= 1 && n_per_pe >= 0);
+  ModelPoint pt;
+  std::int64_t span = p;
+  const double load = static_cast<double>(n_per_pe);
+  const double n_total =
+      static_cast<double>(p) * static_cast<double>(n_per_pe);
+
+  pt.add(Phase::kLocalSort,
+         machine.sort_cost(static_cast<std::int64_t>(load)));
+
+  for (int r : group_counts) {
+    // --- multiselect: O((α log p + rβ + r log(n/p)) log n) -----------------
+    const double rounds = log2d(n_total);  // expected recursion depth
+    const double per_round =
+        collective(machine, span, static_cast<double>(r)) * 3 +
+        machine.compare_cost_n(
+            static_cast<std::int64_t>(r * log2d(load))) ;
+    pt.add(Phase::kSplitterSelection, rounds * per_round);
+
+    // --- delivery -----------------------------------------------------------
+    pt.add(Phase::kDataDelivery, exchange(machine, span, load, 2.0 * r + 2.0));
+
+    // --- merge received runs (≈ 2r of them) --------------------------------
+    pt.add(Phase::kBucketProcessing,
+           machine.merge_cost(static_cast<std::int64_t>(load), 2 * r));
+    span /= r;
+  }
+  return pt;
+}
+
+ModelPoint model_single_level(const MachineParams& machine, std::int64_t p,
+                              std::int64_t n_per_pe, bool sort_from_scratch) {
+  ModelPoint pt;
+  const double load = static_cast<double>(n_per_pe);
+  const double n_total = load * static_cast<double>(p);
+  const LinkLevel l = span_level(machine, p);
+
+  pt.add(Phase::kLocalSort,
+         machine.sort_cost(static_cast<std::int64_t>(load)));
+  const double rounds = log2d(n_total);
+  pt.add(Phase::kSplitterSelection,
+         rounds * (collective(machine, p, static_cast<double>(p)) * 3 +
+                   machine.compare_cost_n(static_cast<std::int64_t>(
+                       static_cast<double>(p) * log2d(load)))));
+  // Dense exchange: p−1 startups per PE.
+  pt.add(Phase::kDataDelivery,
+         static_cast<double>(p - 1) * alpha(machine, l) +
+             beta(machine, l) * load * kWord);
+  if (sort_from_scratch) {
+    pt.add(Phase::kBucketProcessing,
+           machine.sort_cost(static_cast<std::int64_t>(load)));
+  } else {
+    pt.add(Phase::kBucketProcessing,
+           machine.merge_cost(static_cast<std::int64_t>(load), p));
+  }
+  return pt;
+}
+
+}  // namespace pmps::harness

@@ -1,0 +1,48 @@
+// Closed-form cost model for paper-scale predictions.
+//
+// Executing p = 32768 simulated PEs with 10⁷ elements each is not feasible
+// on one host, so benches offer a `--paper-scale` mode that evaluates the
+// paper's running-time bounds (Theorems 2 and 3 with explicit constants,
+// using the *same* MachineParams as the executed simulation) on the exact
+// grid of §7.2. The executed simulation validates the model at small scale;
+// the model extends the curves to the paper's scale. See DESIGN.md §1.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/machine.hpp"
+#include "net/stats.hpp"
+
+namespace pmps::harness {
+
+struct ModelPoint {
+  double total = 0;
+  std::array<double, net::kNumPhases> phase{};
+
+  double get(net::Phase p) const { return phase[static_cast<int>(p)]; }
+  void add(net::Phase p, double t) {
+    phase[static_cast<int>(p)] += t;
+    total += t;
+  }
+};
+
+/// Predicted AMS-sort time for p PEs, n/p elements per PE, the given group
+/// counts per level, oversampling a and overpartitioning b.
+ModelPoint model_ams(const net::MachineParams& machine, std::int64_t p,
+                     std::int64_t n_per_pe, const std::vector<int>& group_counts,
+                     double a, int b, double epsilon = 0.05);
+
+/// Predicted RLM-sort time (perfect balance, multiselect splitter phase).
+ModelPoint model_rlm(const net::MachineParams& machine, std::int64_t p,
+                     std::int64_t n_per_pe, const std::vector<int>& group_counts);
+
+/// Predicted single-level mergesort with a dense Θ(p)-startup exchange
+/// (the MP-sort regime of §7.3). `sort_from_scratch` switches merge→sort.
+ModelPoint model_single_level(const net::MachineParams& machine,
+                              std::int64_t p, std::int64_t n_per_pe,
+                              bool sort_from_scratch);
+
+}  // namespace pmps::harness

@@ -1,0 +1,138 @@
+// One-call experiment runner: builds a simulated cluster, generates a
+// workload, runs a sorting algorithm, verifies the output, and returns the
+// phase-timed report. All benches and integration tests go through this.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "ams/ams_sort.hpp"
+#include "baseline/block_bitonic.hpp"
+#include "baseline/gv_sample_sort.hpp"
+#include "baseline/hypercube_quicksort.hpp"
+#include "baseline/single_level.hpp"
+#include "harness/verify.hpp"
+#include "harness/workloads.hpp"
+#include "net/engine.hpp"
+#include "rlm/rlm_sort.hpp"
+
+namespace pmps::harness {
+
+enum class Algorithm {
+  kAms,
+  kRlm,
+  kSampleSort1L,
+  kMergesort1L,
+  kMpSortLike,
+  kGvSampleSort,
+  kHypercubeQuicksort,
+  kBlockBitonic,
+};
+
+inline std::string_view algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAms: return "AMS-sort";
+    case Algorithm::kRlm: return "RLM-sort";
+    case Algorithm::kSampleSort1L: return "sample-sort-1L";
+    case Algorithm::kMergesort1L: return "mergesort-1L";
+    case Algorithm::kMpSortLike: return "MP-sort-like";
+    case Algorithm::kGvSampleSort: return "GV-sample-sort";
+    case Algorithm::kHypercubeQuicksort: return "hypercube-quicksort";
+    case Algorithm::kBlockBitonic: return "block-bitonic";
+  }
+  return "?";
+}
+
+struct RunConfig {
+  int p = 16;
+  std::int64_t n_per_pe = 1000;
+  Workload workload = Workload::kUniform;
+  Algorithm algorithm = Algorithm::kAms;
+  net::MachineParams machine = net::MachineParams::supermuc_like();
+  std::uint64_t seed = 1;
+
+  ams::AmsConfig ams;            ///< used when algorithm == kAms
+  rlm::RlmConfig rlm;            ///< used when algorithm == kRlm
+  baseline::SingleLevelConfig single;  ///< used for the 1-level baselines
+};
+
+struct RunResult {
+  net::RunReport report;
+  SortCheck check;
+  ams::AmsStats ams_stats;  ///< only for kAms
+
+  double wall_time() const { return report.wall_time; }
+  double phase(net::Phase p) const { return report.phase(p); }
+};
+
+/// Runs one experiment end to end on a fresh engine.
+inline RunResult run_sort_experiment(const RunConfig& cfg) {
+  net::Engine engine(cfg.p, cfg.machine, cfg.seed);
+  RunResult result;
+  std::mutex mu;
+
+  engine.run([&](net::Comm& comm) {
+    auto data = make_workload(cfg.workload, comm.rank(), cfg.p, cfg.n_per_pe,
+                              cfg.seed);
+    const std::uint64_t in_hash =
+        content_hash(std::span<const std::uint64_t>(data.data(), data.size()));
+    const auto in_count = static_cast<std::int64_t>(data.size());
+
+    ams::AmsStats stats;
+    switch (cfg.algorithm) {
+      case Algorithm::kAms: {
+        auto a = cfg.ams;
+        a.seed = cfg.seed;
+        stats = ams::ams_sort(comm, data, a);
+        break;
+      }
+      case Algorithm::kRlm: {
+        auto r = cfg.rlm;
+        r.seed = cfg.seed;
+        rlm::rlm_sort(comm, data, r);
+        break;
+      }
+      case Algorithm::kSampleSort1L:
+        baseline::sample_sort_1l(comm, data, cfg.single);
+        break;
+      case Algorithm::kMergesort1L:
+        baseline::mergesort_1l(comm, data, cfg.single);
+        break;
+      case Algorithm::kMpSortLike:
+        baseline::mpsort_like(comm, data, cfg.single);
+        break;
+      case Algorithm::kGvSampleSort: {
+        baseline::GvConfig g;
+        g.levels = cfg.ams.levels;
+        g.seed = cfg.seed;
+        baseline::gv_sample_sort(comm, data, g);
+        break;
+      }
+      case Algorithm::kHypercubeQuicksort: {
+        baseline::HypercubeConfig h;
+        h.seed = cfg.seed;
+        baseline::hypercube_quicksort(comm, data, h);
+        break;
+      }
+      case Algorithm::kBlockBitonic:
+        baseline::block_bitonic_sort(comm, data);
+        break;
+    }
+
+    auto check = verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()),
+        in_hash, in_count);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(mu);
+      result.check = check;
+      result.ams_stats = std::move(stats);
+    }
+  });
+
+  result.report = engine.report();
+  return result;
+}
+
+}  // namespace pmps::harness

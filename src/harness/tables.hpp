@@ -1,0 +1,33 @@
+// Plain-text table printing for the benchmark harness (the rows/series of
+// the paper's tables and figures), plus small statistics helpers.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pmps::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Prints with aligned columns to stdout.
+  void print() const;
+  /// Comma-separated form (for piping into plotting scripts).
+  void print_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_seconds(double s);
+std::string format_double(double v, int precision = 3);
+
+/// Median of a (small) sample; the paper reports medians of 5 runs.
+double median(std::vector<double> values);
+double quantile(std::vector<double> values, double q);
+
+}  // namespace pmps::harness

@@ -1,0 +1,104 @@
+// Workload generators for experiments and tests.
+//
+// The paper's experiments use uniformly random 64-bit integers (§7); we add
+// the usual adversarial suspects so tests and ablations can stress splitter
+// quality (duplicates, skew) and the data delivery bad cases of §4.3
+// (globally sorted input concentrates each PE's data into one group).
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+
+namespace pmps::harness {
+
+enum class Workload {
+  kUniform,       ///< i.i.d. uniform 64-bit keys (the paper's input)
+  kGaussian,      ///< bell-shaped (sum of four uniforms)
+  kZipfLike,      ///< heavily skewed towards small keys
+  kSortedGlobal,  ///< input already globally sorted: PE i holds range i
+  kReverseGlobal, ///< globally reverse sorted
+  kAllEqual,      ///< every key identical (tie-breaking stress)
+  kFewDistinct,   ///< only 8 distinct keys
+  kLocalSorted,   ///< each PE's data sorted, ranges interleaved
+};
+
+inline constexpr Workload kAllWorkloads[] = {
+    Workload::kUniform,      Workload::kGaussian,     Workload::kZipfLike,
+    Workload::kSortedGlobal, Workload::kReverseGlobal, Workload::kAllEqual,
+    Workload::kFewDistinct,  Workload::kLocalSorted,
+};
+
+inline std::string_view workload_name(Workload w) {
+  switch (w) {
+    case Workload::kUniform: return "uniform";
+    case Workload::kGaussian: return "gaussian";
+    case Workload::kZipfLike: return "zipf-like";
+    case Workload::kSortedGlobal: return "sorted";
+    case Workload::kReverseGlobal: return "reverse";
+    case Workload::kAllEqual: return "all-equal";
+    case Workload::kFewDistinct: return "few-distinct";
+    case Workload::kLocalSorted: return "local-sorted";
+  }
+  return "?";
+}
+
+/// Generates PE `pe`'s share (n_local keys) of a p-PE workload.
+inline std::vector<std::uint64_t> make_workload(Workload w, int pe, int p,
+                                                std::int64_t n_local,
+                                                std::uint64_t seed) {
+  PMPS_CHECK(n_local >= 0 && pe >= 0 && pe < p);
+  Xoshiro256 rng(seed, static_cast<std::uint64_t>(pe) + 0x77beef);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n_local));
+  const std::uint64_t global_base =
+      static_cast<std::uint64_t>(pe) * static_cast<std::uint64_t>(n_local);
+  const std::uint64_t global_n =
+      static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(n_local);
+
+  for (std::int64_t i = 0; i < n_local; ++i) {
+    const auto gi = global_base + static_cast<std::uint64_t>(i);
+    switch (w) {
+      case Workload::kUniform:
+        out.push_back(rng());
+        break;
+      case Workload::kGaussian: {
+        // Sum of four uniforms, keeps full 64-bit scale.
+        const std::uint64_t v =
+            (rng() >> 2) + (rng() >> 2) + (rng() >> 2) + (rng() >> 2);
+        out.push_back(v);
+        break;
+      }
+      case Workload::kZipfLike: {
+        // u^4 concentrates mass near zero.
+        const double u = rng.uniform();
+        out.push_back(static_cast<std::uint64_t>(u * u * u * u * 1.8e19));
+        break;
+      }
+      case Workload::kSortedGlobal:
+        out.push_back(gi * 7919 + 1);
+        break;
+      case Workload::kReverseGlobal:
+        out.push_back((global_n - gi) * 7919 + 1);
+        break;
+      case Workload::kAllEqual:
+        out.push_back(42);
+        break;
+      case Workload::kFewDistinct:
+        out.push_back(mix64(rng() % 8) >> 1);
+        break;
+      case Workload::kLocalSorted:
+        // Sorted within the PE, but PE ranges fully interleaved.
+        out.push_back(static_cast<std::uint64_t>(i) * 1000003 +
+                      static_cast<std::uint64_t>(pe));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pmps::harness

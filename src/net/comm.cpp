@@ -1,0 +1,172 @@
+#include "net/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/math.hpp"
+
+namespace pmps::net {
+
+namespace {
+
+/// Approximately standard-normal deviate from three uniforms (Irwin–Hall);
+/// plenty for modelling network jitter.
+double approx_gauss(Xoshiro256& rng) {
+  return (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0;
+}
+
+struct SplitEntry {
+  int color;
+  int key;
+  int parent_rank;
+  int global_pe;
+};
+
+}  // namespace
+
+Comm::Comm(Engine* engine, int pe)
+    : engine_(engine), ctx_(&engine->pe_context(pe)), rank_(pe), comm_id_(1) {
+  auto members = std::make_shared<std::vector<int>>(engine->num_pes());
+  for (int i = 0; i < engine->num_pes(); ++i) (*members)[i] = i;
+  members_ = std::move(members);
+}
+
+Comm::Comm(Engine* engine, PeContext* ctx,
+           std::shared_ptr<const std::vector<int>> members, int rank,
+           std::uint64_t comm_id)
+    : engine_(engine),
+      ctx_(ctx),
+      members_(std::move(members)),
+      rank_(rank),
+      comm_id_(comm_id) {}
+
+void Comm::send_bytes(int dest_rank, std::uint64_t tag,
+                      std::span<const std::byte> payload) {
+  PMPS_CHECK(dest_rank >= 0 && dest_rank < size());
+  const int dest_pe = member(dest_rank);
+  const MachineParams& m = machine();
+  const LinkLevel lvl = m.level_between(ctx_->pe, dest_pe);
+
+  if (ctx_->free_mode || lvl == LinkLevel::kSelf) {
+    if (!ctx_->free_mode) {
+      // Local move: charged as a copy, not a network message.
+      ctx_->advance(m.copy_cost(payload.size_bytes()));
+    }
+  } else {
+    double cost = m.message_cost(lvl, payload.size_bytes());
+    if (m.comm_noise_frac > 0) {
+      const double f = 1.0 + m.comm_noise_frac * approx_gauss(ctx_->noise_rng);
+      cost *= std::max(0.05, f);
+    }
+    if (lvl != LinkLevel::kNode) cost *= engine_->run_congestion();
+    ctx_->advance(cost);
+    ctx_->stats.messages_sent += 1;
+    ctx_->stats.phase_messages_sent[static_cast<int>(ctx_->phase)] += 1;
+    ctx_->stats.bytes_sent += static_cast<std::int64_t>(payload.size_bytes());
+  }
+
+  Message msg;
+  msg.comm_id = comm_id_;
+  msg.tag = tag;
+  msg.src_pe = ctx_->pe;
+  msg.arrival = ctx_->clock;  // sender-finish time in the single-ported model
+  msg.payload.assign(payload.begin(), payload.end());
+  engine_->pe_context(dest_pe).mailbox.deposit(std::move(msg));
+}
+
+Message Comm::recv_bytes(int src_rank, std::uint64_t tag) {
+  PMPS_CHECK(src_rank >= 0 && src_rank < size());
+  const int src_pe = member(src_rank);
+  Message m = ctx_->mailbox.retrieve(comm_id_, tag, src_pe);
+
+  const MachineParams& mp = machine();
+  const LinkLevel lvl = mp.level_between(ctx_->pe, src_pe);
+  if (lvl != LinkLevel::kSelf && !ctx_->free_mode) {
+    if (ctx_->clock < m.arrival) {
+      // We were waiting: payload is available the moment the sender finished.
+      ctx_->advance_to(m.arrival);
+    } else {
+      // We were busy past the arrival: charge the drain (receive occupancy).
+      ctx_->advance(mp.beta[static_cast<int>(lvl)] *
+                    static_cast<double>(m.payload.size()));
+    }
+    ctx_->stats.messages_received += 1;
+    ctx_->stats.bytes_received += static_cast<std::int64_t>(m.payload.size());
+  }
+  return m;
+}
+
+Comm Comm::split(int color, int key) {
+  // Communicator construction is treated as precomputation (§7.1): run the
+  // exchange in free mode (not charged to virtual time).
+  FreeModeGuard free_guard(*ctx_);
+
+  const std::uint64_t gtag = next_tag_block();
+  const std::uint64_t btag = next_tag_block();
+  const int p = size();
+
+  // Binomial-tree gather of (color, key, rank) to rank 0.
+  std::vector<SplitEntry> table;
+  table.push_back({color, key, rank_, ctx_->pe});
+  for (int step = 1; step < p; step <<= 1) {
+    if ((rank_ & step) != 0) {
+      send<SplitEntry>(rank_ - step, gtag + static_cast<std::uint64_t>(rank_),
+                       std::span<const SplitEntry>(table));
+      break;
+    }
+    if (rank_ + step < p) {
+      auto part = recv<SplitEntry>(
+          rank_ + step, gtag + static_cast<std::uint64_t>(rank_ + step));
+      table.insert(table.end(), part.begin(), part.end());
+    }
+  }
+
+  // Binomial-tree broadcast of the full table from rank 0.
+  const std::uint64_t top = next_pow2(static_cast<std::uint64_t>(p));
+  const std::uint64_t lowbit =
+      rank_ == 0 ? top : static_cast<std::uint64_t>(rank_ & -rank_);
+  if (rank_ != 0) {
+    table = recv<SplitEntry>(rank_ - static_cast<int>(lowbit),
+                             btag + static_cast<std::uint64_t>(rank_));
+  }
+  for (std::uint64_t m = lowbit >> 1; m >= 1; m >>= 1) {
+    const int child = rank_ + static_cast<int>(m);
+    if (child < p) {
+      send<SplitEntry>(child, btag + static_cast<std::uint64_t>(child),
+                       std::span<const SplitEntry>(table));
+    }
+    if (m == 1) break;
+  }
+
+  // Build the member list for our color, ordered by (key, parent rank).
+  std::vector<SplitEntry> mine;
+  for (const auto& e : table)
+    if (e.color == color) mine.push_back(e);
+  std::sort(mine.begin(), mine.end(), [](const auto& a, const auto& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.parent_rank < b.parent_rank;
+  });
+
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(mine.size());
+  int new_rank = -1;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    members->push_back(mine[i].global_pe);
+    if (mine[i].global_pe == ctx_->pe) new_rank = static_cast<int>(i);
+  }
+  PMPS_CHECK_MSG(new_rank >= 0, "calling PE must be in its own color group");
+
+  const std::uint64_t child_id =
+      mix64(comm_id_ * 0x9e3779b97f4a7c15ULL + btag + 0x51ed2701ULL +
+            static_cast<std::uint64_t>(color + 1) * 0x100000001b3ULL);
+
+  return Comm(engine_, ctx_, std::move(members), new_rank, child_id);
+}
+
+Comm Comm::split_consecutive(int groups) {
+  PMPS_CHECK(groups >= 1 && size() % groups == 0);
+  const int group_size = size() / groups;
+  return split(rank_ / group_size, rank_ % group_size);
+}
+
+}  // namespace pmps::net

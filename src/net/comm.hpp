@@ -1,0 +1,112 @@
+// Comm: an MPI-communicator-like handle for SPMD programs on the simulated
+// cluster. Each PE (thread) holds its own Comm instance; Comm::split()
+// creates sub-communicators for the recursion of the multi-level sorting
+// algorithms (its cost is not charged, matching the paper's §7.1 note that
+// communicator construction is precomputation).
+//
+// Point-to-point semantics: send() is asynchronous (deposits into the
+// destination mailbox with a virtual arrival time); recv() blocks the OS
+// thread until the matching message exists and advances the virtual clock
+// to no earlier than the arrival time. Tags are allocated in lockstep via
+// next_tag_block(); higher-level collectives live in coll/collectives.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "net/engine.hpp"
+
+namespace pmps::net {
+
+class Comm {
+ public:
+  /// World communicator for PE `pe` (used by Engine).
+  Comm(Engine* engine, int pe);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_->size()); }
+  int world_rank() const { return ctx_->pe; }
+  int world_size() const { return engine_->num_pes(); }
+  int member(int rank) const { return (*members_)[rank]; }
+
+  Engine& engine() const { return *engine_; }
+  const MachineParams& machine() const { return engine_->machine(); }
+  PeContext& ctx() const { return *ctx_; }
+  Xoshiro256& rng() const { return ctx_->rng; }
+
+  // --- virtual time ---------------------------------------------------------
+  double now() const { return ctx_->clock; }
+  void charge(double seconds) const { ctx_->advance(seconds); }
+  void set_phase(Phase p) const { ctx_->phase = p; }
+  Phase phase() const { return ctx_->phase; }
+
+  // --- tags -----------------------------------------------------------------
+  /// Returns the base of a fresh block of 2^20 tags. All members of a
+  /// communicator call this the same number of times (SPMD lockstep), so
+  /// the returned base is identical on every member.
+  std::uint64_t next_tag_block() { return (seq_++) << 20; }
+
+  // --- point-to-point (typed, trivially copyable payloads) -------------------
+  template <Sortable T>
+  void send(int dest_rank, std::uint64_t tag, std::span<const T> data) {
+    send_bytes(dest_rank, tag,
+               {reinterpret_cast<const std::byte*>(data.data()),
+                data.size_bytes()});
+  }
+
+  template <Sortable T>
+  std::vector<T> recv(int src_rank, std::uint64_t tag) {
+    Message m = recv_bytes(src_rank, tag);
+    PMPS_CHECK(m.payload.size() % sizeof(T) == 0);
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    return out;
+  }
+
+  /// Sends a single value.
+  template <Sortable T>
+  void send_one(int dest_rank, std::uint64_t tag, const T& v) {
+    send<T>(dest_rank, tag, std::span<const T>(&v, 1));
+  }
+
+  template <Sortable T>
+  T recv_one(int src_rank, std::uint64_t tag) {
+    auto v = recv<T>(src_rank, tag);
+    PMPS_CHECK(v.size() == 1);
+    return v[0];
+  }
+
+  void send_bytes(int dest_rank, std::uint64_t tag,
+                  std::span<const std::byte> payload);
+  Message recv_bytes(int src_rank, std::uint64_t tag);
+
+  // --- sub-communicators ------------------------------------------------------
+  /// Splits this communicator: PEs with equal `color` form a new
+  /// communicator, ranked by (key, parent rank). Collective over all
+  /// members. Not charged to virtual time (precomputation, see §7.1).
+  Comm split(int color, int key);
+
+  /// Splits into `groups` equal consecutive groups; returns the
+  /// sub-communicator for this PE's group. Requires size() % groups == 0
+  /// unless allow_uneven.
+  Comm split_consecutive(int groups);
+
+ private:
+  Comm(Engine* engine, PeContext* ctx,
+       std::shared_ptr<const std::vector<int>> members, int rank,
+       std::uint64_t comm_id);
+
+  Engine* engine_;
+  PeContext* ctx_;
+  std::shared_ptr<const std::vector<int>> members_;  // global PE ids, sorted
+  int rank_;
+  std::uint64_t comm_id_;
+  std::uint64_t seq_ = 1;
+};
+
+}  // namespace pmps::net

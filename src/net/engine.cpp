@@ -1,0 +1,95 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/check.hpp"
+#include "net/comm.hpp"
+
+namespace pmps::net {
+
+Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed)
+    : num_pes_(num_pes), machine_(machine), seed_(seed) {
+  PMPS_CHECK(num_pes >= 1);
+  pes_.reserve(static_cast<std::size_t>(num_pes));
+  for (int i = 0; i < num_pes; ++i) {
+    auto ctx = std::make_unique<PeContext>();
+    ctx->pe = i;
+    ctx->rng = Xoshiro256(seed, static_cast<std::uint64_t>(i));
+    ctx->noise_rng =
+        Xoshiro256(seed ^ 0x6e6f697365ULL, static_cast<std::uint64_t>(i));
+    pes_.push_back(std::move(ctx));
+  }
+}
+
+Engine::~Engine() = default;
+
+void Engine::run(const std::function<void(Comm&)>& program) {
+  // Correlated congestion: one factor per run (interfering traffic on the
+  // shared island interconnect, cf. the fluctuation discussion in §7.2).
+  run_congestion_ = 1.0;
+  if (machine_.congestion_noise_frac > 0) {
+    Xoshiro256 rng(seed_ ^ 0xc049e57104ULL, run_counter_);
+    const double g =
+        (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0;
+    run_congestion_ = 1.0 + machine_.congestion_noise_frac * std::abs(g);
+  }
+  ++run_counter_;
+
+  for (auto& ctx : pes_) {
+    PMPS_CHECK_MSG(ctx->mailbox.empty(),
+                   "mailbox not drained by previous run");
+    ctx->clock = 0;
+    ctx->phase = Phase::kOther;
+    ctx->stats = CommStats{};
+    // Reset the RNG streams so repeated runs are bit-identical.
+    ctx->rng = Xoshiro256(seed_, static_cast<std::uint64_t>(ctx->pe));
+    ctx->noise_rng =
+        Xoshiro256(seed_ ^ 0x6e6f697365ULL, static_cast<std::uint64_t>(ctx->pe));
+  }
+
+  if (num_pes_ == 1) {
+    Comm comm(this, 0);
+    program(comm);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_pes_));
+  for (int i = 0; i < num_pes_; ++i) {
+    threads.emplace_back([this, i, &program] {
+      Comm comm(this, i);
+      program(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+RunReport Engine::report() const {
+  RunReport r;
+  for (const auto& ctx : pes_) {
+    r.wall_time = std::max(r.wall_time, ctx->clock);
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      r.phase_max[ph] = std::max(r.phase_max[ph], ctx->stats.phase_time[ph]);
+      r.phase_max_messages_sent[ph] = std::max(
+          r.phase_max_messages_sent[ph], ctx->stats.phase_messages_sent[ph]);
+    }
+    r.max_messages_received =
+        std::max(r.max_messages_received, ctx->stats.messages_received);
+    r.max_messages_sent =
+        std::max(r.max_messages_sent, ctx->stats.messages_sent);
+    r.total_bytes_sent += ctx->stats.bytes_sent;
+  }
+  return r;
+}
+
+RunReport run_spmd(int num_pes, const MachineParams& machine,
+                   std::uint64_t seed,
+                   const std::function<void(Comm&)>& program) {
+  Engine engine(num_pes, machine, seed);
+  engine.run(program);
+  return engine.report();
+}
+
+}  // namespace pmps::net

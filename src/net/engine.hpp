@@ -1,0 +1,108 @@
+// The SPMD engine: owns p simulated PEs and runs a program on all of them.
+//
+// Each PE is an OS thread with its own virtual clock, mailbox, RNG stream
+// and statistics. Algorithms are written once, SPMD style, against Comm
+// (see comm.hpp) — exactly like an MPI rank program. Virtual time follows
+// the single-ported α–β model of the paper's §2.1 (see machine.hpp);
+// it is fully deterministic for a given seed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.hpp"
+#include "net/machine.hpp"
+#include "net/mailbox.hpp"
+#include "net/stats.hpp"
+
+namespace pmps::net {
+
+class Comm;
+
+/// All mutable per-PE state. Owned by the engine, accessed only by the
+/// thread running that PE (mailbox deposits aside, which are internally
+/// synchronised).
+struct PeContext {
+  int pe = -1;
+  double clock = 0;  ///< virtual time (seconds)
+  Phase phase = Phase::kOther;
+  bool free_mode = false;  ///< suppress all charging (precomputation steps)
+  Mailbox mailbox;
+  CommStats stats;
+  Xoshiro256 rng;        ///< algorithmic randomness (shared seed semantics)
+  Xoshiro256 noise_rng;  ///< communication jitter stream
+
+  /// Advance the virtual clock, attributing the time to the current phase.
+  void advance(double dt) {
+    if (free_mode) return;
+    clock += dt;
+    stats.phase_time[static_cast<int>(phase)] += dt;
+  }
+  /// Jump the clock forward to at least `t` (waiting for a message).
+  void advance_to(double t) {
+    if (t > clock) advance(t - clock);
+  }
+};
+
+/// RAII guard that makes all communication/computation free (not charged to
+/// virtual time and not counted in statistics) — used for steps the paper
+/// treats as precomputation, e.g. communicator construction (§7.1), and for
+/// out-of-band bookkeeping inside sparse exchanges.
+class FreeModeGuard {
+ public:
+  explicit FreeModeGuard(PeContext& ctx) : ctx_(ctx), prev_(ctx.free_mode) {
+    ctx_.free_mode = true;
+  }
+  ~FreeModeGuard() { ctx_.free_mode = prev_; }
+  FreeModeGuard(const FreeModeGuard&) = delete;
+  FreeModeGuard& operator=(const FreeModeGuard&) = delete;
+
+ private:
+  PeContext& ctx_;
+  bool prev_;
+};
+
+class Engine {
+ public:
+  Engine(int num_pes, MachineParams machine, std::uint64_t seed = 1);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `program` on all PEs (one OS thread each) and blocks until every
+  /// PE finished. May be called repeatedly; clocks and stats reset between
+  /// runs.
+  void run(const std::function<void(Comm&)>& program);
+
+  int num_pes() const { return num_pes_; }
+  const MachineParams& machine() const { return machine_; }
+  std::uint64_t seed() const { return seed_; }
+  /// Correlated congestion factor (≥ 1) for island/global links, drawn once
+  /// per run when machine().congestion_noise_frac > 0.
+  double run_congestion() const { return run_congestion_; }
+
+  PeContext& pe_context(int pe) { return *pes_[pe]; }
+  const PeContext& pe_context(int pe) const { return *pes_[pe]; }
+
+  /// Aggregated results of the last run().
+  RunReport report() const;
+
+ private:
+  int num_pes_;
+  MachineParams machine_;
+  std::uint64_t seed_;
+  double run_congestion_ = 1.0;
+  std::uint64_t run_counter_ = 0;
+  std::vector<std::unique_ptr<PeContext>> pes_;
+};
+
+/// Convenience: build an engine, run `program`, return the report.
+RunReport run_spmd(int num_pes, const MachineParams& machine,
+                   std::uint64_t seed,
+                   const std::function<void(Comm&)>& program);
+
+}  // namespace pmps::net

@@ -1,0 +1,80 @@
+#include "net/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pmps::net {
+
+MachineParams MachineParams::supermuc_like() {
+  MachineParams m;
+  m.pes_per_node = 16;
+  m.nodes_per_island = 512;
+
+  // Latencies: shared-memory exchange within a node, one switch hop within
+  // an island, several hops plus congestion across the pruned tree.
+  m.alpha[static_cast<int>(LinkLevel::kSelf)] = 0.0;
+  m.alpha[static_cast<int>(LinkLevel::kNode)] = 0.5e-6;
+  m.alpha[static_cast<int>(LinkLevel::kIsland)] = 2.0e-6;
+  m.alpha[static_cast<int>(LinkLevel::kGlobal)] = 4.0e-6;
+
+  // Bandwidths per PE. FDR10 gives ~5 GB/s per node; 16 MPI ranks share the
+  // adapter, so ~0.3 GB/s per PE for island traffic, and the 4:1 pruning
+  // makes cross-island traffic ~4x worse. Within a node, memcpy-level.
+  m.beta[static_cast<int>(LinkLevel::kSelf)] = 0.0;
+  m.beta[static_cast<int>(LinkLevel::kNode)] = 1.0 / 4.0e9;    // 4 GB/s
+  m.beta[static_cast<int>(LinkLevel::kIsland)] = 1.0 / 0.3e9;  // 0.3 GB/s
+  m.beta[static_cast<int>(LinkLevel::kGlobal)] = 1.0 / 0.075e9;
+
+  // Local work: a 2.3 GHz Sandy Bridge core sorts 64-bit integers with
+  // std::sort at roughly 9-10 ns per element per log2(n) ... calibrated so
+  // that n/p = 1e7 local sorting takes ~2s as in the paper's Table 2 runs.
+  m.sort_per_elem = 9.0e-9;
+  m.merge_per_elem = 4.0e-9;
+  m.partition_per_elem = 2.5e-9;  // branchless, no mispredictions [32]
+  m.copy_per_byte = 1.0 / 8.0e9;
+  m.compare_cost = 2.0e-9;
+  return m;
+}
+
+MachineParams MachineParams::flat(double alpha_s, double beta_s_per_byte) {
+  MachineParams m = supermuc_like();
+  for (int i = 1; i < 4; ++i) {
+    m.alpha[i] = alpha_s;
+    m.beta[i] = beta_s_per_byte;
+  }
+  // One flat level: everything is "global".
+  m.pes_per_node = 1;
+  m.nodes_per_island = 1 << 30;
+  return m;
+}
+
+LinkLevel MachineParams::level_between(int pe_a, int pe_b) const {
+  if (pe_a == pe_b) return LinkLevel::kSelf;
+  if (pe_a / pes_per_node == pe_b / pes_per_node) return LinkLevel::kNode;
+  if (pe_a / pes_per_island() == pe_b / pes_per_island())
+    return LinkLevel::kIsland;
+  return LinkLevel::kGlobal;
+}
+
+double MachineParams::sort_cost(std::int64_t n) const {
+  if (n <= 0) return 0;
+  return sort_per_elem * static_cast<double>(n) *
+         std::log2(std::max<double>(static_cast<double>(n), 2.0));
+}
+
+double MachineParams::merge_cost(std::int64_t n, std::int64_t ways) const {
+  if (n <= 0) return 0;
+  return merge_per_elem * static_cast<double>(n) *
+         std::log2(std::max<double>(static_cast<double>(ways), 2.0));
+}
+
+double MachineParams::partition_cost(std::int64_t n,
+                                     std::int64_t buckets) const {
+  if (n <= 0) return 0;
+  return partition_per_elem * static_cast<double>(n) *
+         std::log2(std::max<double>(static_cast<double>(buckets), 2.0));
+}
+
+}  // namespace pmps::net

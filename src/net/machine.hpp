@@ -1,0 +1,90 @@
+// Machine model for the simulated cluster.
+//
+// The paper (§2.1) analyses algorithms in the single-ported message passing
+// model: sending a message of ℓ machine words costs α + ℓβ. Its experiments
+// ran on SuperMUC, a hierarchical machine (16-core nodes, 512-node islands
+// with a non-blocking FDR10 fat tree, islands connected by a 4:1 pruned
+// tree). We reproduce that machine as a parameterised cost model: each
+// point-to-point message is charged α(d) + β(d)·bytes where d is the
+// topology distance (same node / same island / cross island) between the
+// endpoints. Local computation is charged with calibrated per-element
+// constants so that virtual times are deterministic and independent of the
+// host machine.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pmps::net {
+
+/// Topology distance between two PEs.
+enum class LinkLevel : int {
+  kSelf = 0,    ///< same PE (no network)
+  kNode = 1,    ///< same node (shared memory / loopback)
+  kIsland = 2,  ///< same island (non-blocking fat tree)
+  kGlobal = 3,  ///< cross island (4:1 pruned tree)
+};
+
+struct MachineParams {
+  // --- topology -----------------------------------------------------------
+  int pes_per_node = 16;
+  int nodes_per_island = 512;
+
+  // --- communication: startup latency (s) and per-byte time (s/byte), by
+  // LinkLevel index. Defaults are set by the presets below.
+  double alpha[4] = {0, 0, 0, 0};
+  double beta[4] = {0, 0, 0, 0};
+
+  // --- local work constants (seconds) --------------------------------------
+  // local sort of n elements:        sort_per_elem * n * log2(max(n,2))
+  // r-way merge of n elements:       merge_per_elem * n * log2(max(r,2))
+  // partition into k buckets:        partition_per_elem * n * log2(max(k,2))
+  // sequential scan / copy:          copy_per_byte per byte
+  double sort_per_elem = 0;
+  double merge_per_elem = 0;
+  double partition_per_elem = 0;
+  double copy_per_byte = 0;
+  double compare_cost = 0;  ///< one comparison (binary search steps etc.)
+
+  // --- noise ---------------------------------------------------------------
+  // Multiplicative jitter on per-message communication cost, reproducing the
+  // network interference the paper observes in Figure 12. 0 = deterministic.
+  double comm_noise_frac = 0.0;
+  // Correlated per-run congestion on island/global links (interfering jobs
+  // sharing the pruned tree): one factor ≥ 1 drawn per run, multiplying all
+  // non-node communication. This is what spreads run-time distributions —
+  // i.i.d. per-message noise averages out over many messages.
+  double congestion_noise_frac = 0.0;
+
+  /// SuperMUC-like preset: Sandy Bridge-EP nodes at 2.3 GHz, FDR10
+  /// Infiniband, 4:1 pruned inter-island tree. Constants calibrated to land
+  /// in the same order of magnitude as the paper's Table 2.
+  static MachineParams supermuc_like();
+
+  /// Flat machine: one α/β for all PE pairs (classic single-ported model).
+  static MachineParams flat(double alpha_s, double beta_s_per_byte);
+
+  // --- derived -------------------------------------------------------------
+  int pes_per_island() const { return pes_per_node * nodes_per_island; }
+
+  LinkLevel level_between(int pe_a, int pe_b) const;
+
+  /// Cost of one message of `bytes` at distance `lvl` (no noise).
+  double message_cost(LinkLevel lvl, std::size_t bytes) const {
+    const int i = static_cast<int>(lvl);
+    return alpha[i] + beta[i] * static_cast<double>(bytes);
+  }
+
+  double sort_cost(std::int64_t n) const;
+  double merge_cost(std::int64_t n, std::int64_t ways) const;
+  double partition_cost(std::int64_t n, std::int64_t buckets) const;
+  double copy_cost(std::size_t bytes) const {
+    return copy_per_byte * static_cast<double>(bytes);
+  }
+  double compare_cost_n(std::int64_t n) const {
+    return compare_cost * static_cast<double>(n);
+  }
+};
+
+}  // namespace pmps::net

@@ -1,0 +1,63 @@
+// Per-PE mailbox: the delivery endpoint for simulated messages.
+//
+// Messages are matched on (comm id, tag, source PE). Collectives allocate
+// tag blocks in SPMD lockstep (every member of a communicator executes the
+// same sequence of operations), so matching is unambiguous and the whole
+// simulation is deterministic regardless of OS thread scheduling.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace pmps::net {
+
+struct Message {
+  std::uint64_t comm_id = 0;
+  std::uint64_t tag = 0;
+  int src_pe = -1;        ///< global PE id of the sender
+  double arrival = 0;     ///< earliest virtual time the payload is available
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  void deposit(Message&& m) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message matching (comm_id, tag, src_pe) is present and
+  /// removes it from the queue.
+  Message retrieve(std::uint64_t comm_id, std::uint64_t tag, int src_pe) {
+    std::unique_lock lock(mu_);
+    while (true) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->comm_id == comm_id && it->tag == tag && it->src_pe == src_pe) {
+          Message m = std::move(*it);
+          queue_.erase(it);
+          return m;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  bool empty() const {
+    std::lock_guard lock(mu_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace pmps::net

@@ -1,0 +1,16 @@
+#include "net/stats.hpp"
+
+namespace pmps::net {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kOther: return "other";
+    case Phase::kSplitterSelection: return "splitter selection";
+    case Phase::kBucketProcessing: return "bucket processing";
+    case Phase::kDataDelivery: return "data delivery";
+    case Phase::kLocalSort: return "local sort";
+  }
+  return "?";
+}
+
+}  // namespace pmps::net

@@ -1,0 +1,57 @@
+// Per-PE statistics: virtual clock accounting by algorithm phase, message
+// and byte counters. The paper (§7.1) divides each level into four phases —
+// splitter selection, bucket processing, data delivery, local sorting —
+// separated by barriers and accumulated over recursion levels; we account
+// virtual time the same way so Figure 8 can be reproduced natively.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace pmps::net {
+
+enum class Phase : int {
+  kOther = 0,
+  kSplitterSelection = 1,
+  kBucketProcessing = 2,
+  kDataDelivery = 3,
+  kLocalSort = 4,
+};
+inline constexpr int kNumPhases = 5;
+
+std::string_view phase_name(Phase p);
+
+struct CommStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::array<double, kNumPhases> phase_time{};  // virtual seconds
+  std::array<std::int64_t, kNumPhases> phase_messages_sent{};
+
+  double total_phase_time() const {
+    double s = 0;
+    for (double t : phase_time) s += t;
+    return s;
+  }
+};
+
+/// Aggregate over all PEs after a run: max virtual finish time, per-phase
+/// maxima (the bottleneck PE per phase), message-count extremes.
+struct RunReport {
+  double wall_time = 0;  ///< max over PEs of final virtual clock
+  std::array<double, kNumPhases> phase_max{};
+  std::array<std::int64_t, kNumPhases> phase_max_messages_sent{};
+  std::int64_t max_messages_received = 0;  ///< max over PEs
+  std::int64_t max_messages_sent = 0;
+  std::int64_t total_bytes_sent = 0;
+
+  double phase(Phase p) const { return phase_max[static_cast<int>(p)]; }
+  std::int64_t phase_messages(Phase p) const {
+    return phase_max_messages_sent[static_cast<int>(p)];
+  }
+};
+
+}  // namespace pmps::net

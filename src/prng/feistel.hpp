@@ -1,0 +1,70 @@
+// Pseudorandom permutations from chained Feistel rounds (paper Appendix B).
+//
+// A permutation π : 0..n−1 → 0..n−1 is built on the square domain
+// 0..side²−1 (side = ⌈√n⌉) from four Feistel permutations
+// π_f((a,b)) = (b, (a + f(b)) mod side) with pseudorandom round functions f
+// [23, 25]; values ≥ n are cycle-walked (iterate π' until the image lands
+// below n — expected < 2 iterations since side² < 4n).
+//
+// The state is four 64-bit keys, so — as the paper notes — it can be
+// replicated on every PE, giving all PEs a consistent global permutation
+// without any communication. Used by the randomized data delivery
+// algorithms (§4.3, Appendix A).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+
+namespace pmps::prng {
+
+class FeistelPermutation {
+ public:
+  static constexpr int kRounds = 4;
+
+  FeistelPermutation() : FeistelPermutation(1, 0) {}
+
+  FeistelPermutation(std::uint64_t n, std::uint64_t seed) : n_(n) {
+    PMPS_CHECK(n >= 1);
+    side_ = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n_)));
+    if (side_ < 1) side_ = 1;
+    while (side_ * side_ < n_) ++side_;  // ⌈√n⌉
+    std::uint64_t sm = mix64(seed ^ 0xfe15e1f00dULL);
+    for (auto& k : keys_) k = splitmix64(sm);
+  }
+
+  std::uint64_t size() const { return n_; }
+
+  /// π(i) for i in 0..n−1; bijective on that range.
+  std::uint64_t operator()(std::uint64_t i) const {
+    PMPS_ASSERT(i < n_);
+    std::uint64_t x = i;
+    do {
+      x = permute_square(x);
+    } while (x >= n_);  // cycle walking stays within the permutation
+    return x;
+  }
+
+ private:
+  /// One pass of four Feistel rounds over the square domain side².
+  std::uint64_t permute_square(std::uint64_t x) const {
+    std::uint64_t a = x / side_;
+    std::uint64_t b = x % side_;
+    for (int r = 0; r < kRounds; ++r) {
+      const std::uint64_t f = mix64(b ^ keys_[static_cast<std::size_t>(r)]) % side_;
+      const std::uint64_t na = b;
+      b = (a + f) % side_;
+      a = na;
+    }
+    return a * side_ + b;
+  }
+
+  std::uint64_t n_;
+  std::uint64_t side_;
+  std::uint64_t keys_[kRounds];
+};
+
+}  // namespace pmps::prng

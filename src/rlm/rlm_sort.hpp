@@ -1,0 +1,128 @@
+// RLM-sort: Recurse-Last (multi-level) Multiway Mergesort (paper §5).
+//
+// Every PE sorts locally once. Then per level, on the current communicator
+// of p PEs split into r groups:
+//   1. splitter selection — r−1 simultaneous multisequence selections
+//      (§4.1) find exact global splitting ranks i·n/r, i.e. *perfect* load
+//      balance (up to rounding);
+//   2. data delivery — the r sorted pieces per PE are shipped with a §4.3
+//      delivery algorithm;
+//   3. bucket processing — each PE merges its received sorted runs with a
+//      loser tree (§2.2), restoring the locally-sorted invariant;
+//   4. recurse into the group's sub-communicator.
+//
+// "Recurse last" refers to moving the data only k times: the merge happens
+// before recursing, so every level starts from locally sorted data.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ams/level_config.hpp"
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "delivery/delivery.hpp"
+#include "net/comm.hpp"
+#include "select/multiselect.hpp"
+#include "seq/multiway_merge.hpp"
+#include "seq/small_sort.hpp"
+
+namespace pmps::rlm {
+
+using net::Comm;
+using net::Phase;
+
+struct RlmConfig {
+  /// Group counts per level (Π = p). Empty → level_group_counts(p, levels).
+  std::vector<int> group_counts;
+  int levels = 2;  ///< used only when group_counts is empty
+
+  delivery::Algo delivery = delivery::Algo::kSimple;
+  std::uint64_t seed = 1;
+};
+
+namespace detail {
+
+template <typename T, typename Less>
+void rlm_level(Comm& comm, std::vector<T>& data, const RlmConfig& cfg,
+               const std::vector<int>& rs, std::size_t level, Less less) {
+  if (comm.size() == 1 || level >= rs.size()) return;  // already sorted
+
+  const auto& machine = comm.machine();
+  const int p = comm.size();
+  const int r = rs[level];
+  PMPS_CHECK(r >= 2 && p % r == 0);
+
+  // --- phase 1: splitter selection (multisequence selection) ---------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kSplitterSelection);
+  const std::int64_t n_total = coll::allreduce_add_one(
+      comm, static_cast<std::int64_t>(data.size()));
+  std::vector<std::int64_t> ranks;
+  ranks.reserve(static_cast<std::size_t>(r - 1));
+  for (int i = 1; i < r; ++i) ranks.push_back(chunk_begin(n_total, r, i));
+  const auto sel = select::multiselect(
+      comm, std::span<const T>(data.data(), data.size()), ranks, less);
+
+  std::vector<std::int64_t> piece_sizes(static_cast<std::size_t>(r), 0);
+  {
+    std::int64_t prev = 0;
+    for (int i = 0; i < r - 1; ++i) {
+      piece_sizes[static_cast<std::size_t>(i)] =
+          sel.split_positions[static_cast<std::size_t>(i)] - prev;
+      prev = sel.split_positions[static_cast<std::size_t>(i)];
+    }
+    piece_sizes[static_cast<std::size_t>(r - 1)] =
+        static_cast<std::int64_t>(data.size()) - prev;
+  }
+
+  // --- phase 2: data delivery ----------------------------------------------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kDataDelivery);
+  auto runs = delivery::deliver(
+      comm, std::span<const T>(data.data(), data.size()), piece_sizes,
+      cfg.delivery, cfg.seed + level);
+
+  // --- phase 3: bucket processing (multiway merge of sorted runs) ----------
+  coll::barrier(comm);
+  comm.set_phase(Phase::kBucketProcessing);
+  data = seq::multiway_merge(runs, less);
+  comm.charge(machine.merge_cost(
+      static_cast<std::int64_t>(data.size()),
+      static_cast<std::int64_t>(std::max<std::size_t>(runs.size(), 1))));
+  comm.set_phase(Phase::kOther);
+
+  // --- recurse --------------------------------------------------------------
+  Comm sub = comm.split_consecutive(r);
+  rlm_level(sub, data, cfg, rs, level + 1, less);
+}
+
+}  // namespace detail
+
+/// Sorts `data` in place with perfect output balance (every PE ends with
+/// ⌊n/p⌋ or ⌈n/p⌉ elements).
+template <typename T, typename Less = std::less<T>>
+void rlm_sort(Comm& comm, std::vector<T>& data, const RlmConfig& cfg = {},
+              Less less = {}) {
+  std::vector<int> rs = cfg.group_counts;
+  if (rs.empty())
+    rs = ams::level_group_counts(comm.size(), cfg.levels,
+                                 comm.machine().pes_per_node);
+  std::int64_t prod = 1;
+  for (int rr : rs) prod *= rr;
+  PMPS_CHECK_MSG(prod == comm.size(), "group counts must multiply to p");
+
+  // Initial local sort (the paper's "every PE sorts locally first").
+  coll::barrier(comm);
+  comm.set_phase(Phase::kLocalSort);
+  seq::local_sort(std::span<T>(data.data(), data.size()), less);
+  comm.charge(comm.machine().sort_cost(static_cast<std::int64_t>(data.size())));
+  comm.set_phase(Phase::kOther);
+
+  detail::rlm_level(comm, data, cfg, rs, 0, less);
+}
+
+}  // namespace pmps::rlm

@@ -1,0 +1,209 @@
+// Multisequence selection (paper §4.1).
+//
+// Given one sorted sequence per PE and r global ranks k_1 < … < k_r, find
+// for every rank a split position in every local sequence such that the
+// positions sum to the rank and all elements left of the splits are ≤ all
+// elements right of them. This is the distributed quickselect of Figure 2,
+// vectorised: all r selections run simultaneously and share their collective
+// operations (vector-valued allreduce of length O(r)), giving the
+// O((α log p + rβ + r log(n/p)) log n) bound of Equation (1).
+//
+// Duplicate keys are handled exactly: per refinement step we count elements
+// strictly below and ≤ the pivot; if the rank falls among elements equal to
+// the pivot, the equal elements are dealt out to PEs in rank order, which is
+// the implicit (key, PE, index) tie breaking of Appendix D.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/types.hpp"
+#include "net/comm.hpp"
+
+namespace pmps::select {
+
+using net::Comm;
+
+/// Result: split_positions[j][ — one value per rank j: this PE's split
+/// position (elements [0, pos) belong to the left side of rank k_j).
+template <typename T>
+struct MultiselectResult {
+  std::vector<std::int64_t> split_positions;  // one per requested rank
+};
+
+namespace detail {
+
+/// Slot for distributing a pivot: allreduce with "first non-empty wins".
+template <typename T>
+struct PivotSlot {
+  std::uint8_t has = 0;
+  T value{};
+};
+
+template <typename T>
+PivotSlot<T> pick_slot(const PivotSlot<T>& a, const PivotSlot<T>& b) {
+  return a.has ? a : b;
+}
+
+}  // namespace detail
+
+/// `ranks` must be sorted ascending, each in [0, total]; rank k means
+/// "k elements end up left of the split". Returns one split position per
+/// rank for this PE's `local_sorted`.
+template <typename T, typename Less = std::less<T>>
+MultiselectResult<T> multiselect(Comm& comm, std::span<const T> local_sorted,
+                                 const std::vector<std::int64_t>& ranks,
+                                 Less less = {}) {
+  PMPS_ASSERT(std::is_sorted(local_sorted.begin(), local_sorted.end(), less));
+  PMPS_ASSERT(std::is_sorted(ranks.begin(), ranks.end()));
+  const auto r = static_cast<int>(ranks.size());
+  const auto n_local = static_cast<std::int64_t>(local_sorted.size());
+  const auto& machine = comm.machine();
+
+  MultiselectResult<T> result;
+  result.split_positions.assign(static_cast<std::size_t>(r), 0);
+  if (r == 0) return result;
+
+  // Per-rank state: the active window [lo, hi) in the local sequence and the
+  // residual rank within the union of active windows.
+  std::vector<std::int64_t> lo(static_cast<std::size_t>(r), 0);
+  std::vector<std::int64_t> hi(static_cast<std::size_t>(r), n_local);
+  std::vector<std::int64_t> residual(ranks.begin(), ranks.end());
+  std::vector<std::uint8_t> done(static_cast<std::size_t>(r), 0);
+
+  while (true) {
+    // Active set and window sizes (vector allreduce over all ranks at once).
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(r));
+    for (int j = 0; j < r; ++j)
+      sizes[static_cast<std::size_t>(j)] =
+          done[static_cast<std::size_t>(j)]
+              ? 0
+              : hi[static_cast<std::size_t>(j)] - lo[static_cast<std::size_t>(j)];
+    const auto totals = coll::allreduce_add(comm, sizes);
+
+    bool all_done = true;
+    for (int j = 0; j < r; ++j) {
+      auto& d = done[static_cast<std::size_t>(j)];
+      if (d) continue;
+      if (residual[static_cast<std::size_t>(j)] == 0) {
+        result.split_positions[static_cast<std::size_t>(j)] =
+            lo[static_cast<std::size_t>(j)];
+        d = 1;
+      } else if (residual[static_cast<std::size_t>(j)] ==
+                 totals[static_cast<std::size_t>(j)]) {
+        result.split_positions[static_cast<std::size_t>(j)] =
+            hi[static_cast<std::size_t>(j)];
+        d = 1;
+      } else {
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+
+    // Pick one pivot per active rank: a shared uniformly random global index
+    // into the active window (same random number on all PEs — the shared rng
+    // streams are seeded identically via the comm-wide random draw below),
+    // located via an exclusive prefix sum over window sizes.
+    std::vector<std::int64_t> prefix = coll::exscan_add(comm, sizes);
+    std::vector<detail::PivotSlot<T>> slots(static_cast<std::size_t>(r));
+    // One shared random draw per rank: broadcast from rank 0's rng so all
+    // PEs agree (costs one vector broadcast, absorbed in the α log p term).
+    std::vector<std::int64_t> draws(static_cast<std::size_t>(r), 0);
+    if (comm.rank() == 0) {
+      for (int j = 0; j < r; ++j) {
+        if (!done[static_cast<std::size_t>(j)] &&
+            totals[static_cast<std::size_t>(j)] > 0) {
+          draws[static_cast<std::size_t>(j)] = static_cast<std::int64_t>(
+              comm.rng().bounded(static_cast<std::uint64_t>(
+                  totals[static_cast<std::size_t>(j)])));
+        }
+      }
+    }
+    coll::bcast(comm, draws, 0);
+
+    for (int j = 0; j < r; ++j) {
+      if (done[static_cast<std::size_t>(j)]) continue;
+      const std::int64_t t = draws[static_cast<std::size_t>(j)];
+      const std::int64_t my_begin = prefix[static_cast<std::size_t>(j)];
+      const std::int64_t my_size = sizes[static_cast<std::size_t>(j)];
+      if (t >= my_begin && t < my_begin + my_size) {
+        slots[static_cast<std::size_t>(j)].has = 1;
+        slots[static_cast<std::size_t>(j)].value = local_sorted
+            [static_cast<std::size_t>(lo[static_cast<std::size_t>(j)] +
+                                      (t - my_begin))];
+      }
+    }
+    slots = coll::allreduce(comm, std::move(slots), detail::pick_slot<T>);
+
+    // Local binary searches: elements < pivot and ≤ pivot in each window.
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(2 * r), 0);
+    for (int j = 0; j < r; ++j) {
+      if (done[static_cast<std::size_t>(j)]) continue;
+      const T& pivot = slots[static_cast<std::size_t>(j)].value;
+      const auto first =
+          local_sorted.begin() + lo[static_cast<std::size_t>(j)];
+      const auto last = local_sorted.begin() + hi[static_cast<std::size_t>(j)];
+      const std::int64_t below =
+          std::lower_bound(first, last, pivot, less) - first;
+      const std::int64_t below_eq =
+          std::upper_bound(first, last, pivot, less) - first;
+      counts[static_cast<std::size_t>(2 * j)] = below;
+      counts[static_cast<std::size_t>(2 * j + 1)] = below_eq;
+      comm.charge(machine.compare_cost_n(
+          2 * ceil_log2(static_cast<std::uint64_t>(
+                  std::max<std::int64_t>(hi[static_cast<std::size_t>(j)] -
+                                             lo[static_cast<std::size_t>(j)],
+                                         2)))));
+    }
+    // Per-PE exclusive prefix of equal counts (for dealing out duplicates),
+    // plus global totals.
+    std::vector<std::int64_t> eq(static_cast<std::size_t>(r));
+    for (int j = 0; j < r; ++j)
+      eq[static_cast<std::size_t>(j)] =
+          counts[static_cast<std::size_t>(2 * j + 1)] -
+          counts[static_cast<std::size_t>(2 * j)];
+    const auto eq_prefix = coll::exscan_add(comm, eq);
+    const auto count_totals = coll::allreduce_add(comm, counts);
+
+    for (int j = 0; j < r; ++j) {
+      if (done[static_cast<std::size_t>(j)]) continue;
+      const std::int64_t below = counts[static_cast<std::size_t>(2 * j)];
+      const std::int64_t below_eq = counts[static_cast<std::size_t>(2 * j + 1)];
+      const std::int64_t tot_below =
+          count_totals[static_cast<std::size_t>(2 * j)];
+      const std::int64_t tot_below_eq =
+          count_totals[static_cast<std::size_t>(2 * j + 1)];
+      auto& res = residual[static_cast<std::size_t>(j)];
+      auto& l = lo[static_cast<std::size_t>(j)];
+      auto& h = hi[static_cast<std::size_t>(j)];
+      if (res < tot_below) {
+        // Recurse into the strictly-smaller part.
+        h = l + below;
+      } else if (res > tot_below_eq) {
+        // Recurse into the strictly-larger part.
+        res -= tot_below_eq;
+        l = l + below_eq;
+      } else {
+        // The split lands inside the run of elements equal to the pivot:
+        // deal the (res − tot_below) equal elements out in PE-rank order.
+        const std::int64_t need = res - tot_below;
+        const std::int64_t my_eq = below_eq - below;
+        const std::int64_t my_excl = eq_prefix[static_cast<std::size_t>(j)];
+        const std::int64_t take =
+            std::clamp<std::int64_t>(need - my_excl, 0, my_eq);
+        result.split_positions[static_cast<std::size_t>(j)] = l + below + take;
+        done[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pmps::select

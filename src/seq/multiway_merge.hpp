@@ -1,0 +1,151 @@
+// Sequential multiway merging with a tournament (loser) tree.
+//
+// The paper (§2.2) relies on r-way merging of sorted runs in O(N log r)
+// using tournament trees [20, 27, 33]; RLM-sort's bucket processing phase is
+// exactly this operation. This is a classic loser tree: internal nodes hold
+// the *loser* of the match played at that node, the overall winner is kept
+// outside the tree, and replacing the winner replays only its leaf-to-root
+// path (⌈log2 k⌉ comparisons per output element).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace pmps::seq {
+
+template <typename T, typename Less = std::less<T>>
+class LoserTree {
+ public:
+  /// `runs` must stay alive while the tree is used; each run must be sorted.
+  explicit LoserTree(std::span<const std::span<const T>> runs, Less less = {})
+      : less_(less) {
+    k_ = static_cast<int>(runs.size());
+    PMPS_CHECK(k_ >= 1);
+    cap_ = static_cast<int>(next_pow2(static_cast<std::uint64_t>(k_)));
+    runs_.assign(runs.begin(), runs.end());
+    pos_.assign(static_cast<std::size_t>(k_), 0);
+    tree_.assign(static_cast<std::size_t>(cap_), -1);
+    total_ = 0;
+    for (const auto& r : runs_) {
+      PMPS_ASSERT(std::is_sorted(r.begin(), r.end(), less_));
+      total_ += static_cast<std::int64_t>(r.size());
+    }
+    build();
+  }
+
+  bool empty() const { return produced_ == total_; }
+  std::int64_t size() const { return total_ - produced_; }
+
+  /// Pops the smallest remaining element.
+  T pop() {
+    PMPS_ASSERT(!empty());
+    const int w = winner_;
+    const T out = runs_[static_cast<std::size_t>(w)]
+                       [static_cast<std::size_t>(pos_[static_cast<std::size_t>(w)])];
+    ++pos_[static_cast<std::size_t>(w)];
+    ++produced_;
+    replay(w);
+    return out;
+  }
+
+  /// Index of the run the next pop() comes from (useful for stability
+  /// inspection in tests).
+  int winner_run() const { return winner_; }
+
+ private:
+  bool exhausted(int run) const {
+    return pos_[static_cast<std::size_t>(run)] >=
+           static_cast<std::int64_t>(runs_[static_cast<std::size_t>(run)].size());
+  }
+
+  /// true if run a's current front beats (is less than) run b's. Exhausted
+  /// runs always lose; ties are broken by run index, making the merge stable
+  /// with respect to run order.
+  bool beats(int a, int b) const {
+    if (a < 0 || (a < k_ && exhausted(a))) return false;
+    if (b < 0 || (b < k_ && exhausted(b))) return true;
+    if (a >= k_) return false;
+    if (b >= k_) return true;
+    const T& va = runs_[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(pos_[static_cast<std::size_t>(a)])];
+    const T& vb = runs_[static_cast<std::size_t>(b)]
+                       [static_cast<std::size_t>(pos_[static_cast<std::size_t>(b)])];
+    if (less_(va, vb)) return true;
+    if (less_(vb, va)) return false;
+    return a < b;
+  }
+
+  void build() {
+    // Play the tournament bottom-up. Leaf i is virtual index cap_ + i.
+    std::vector<int> winners(static_cast<std::size_t>(2 * cap_));
+    for (int i = 0; i < cap_; ++i)
+      winners[static_cast<std::size_t>(cap_ + i)] = i < k_ ? i : -1;
+    for (int node = cap_ - 1; node >= 1; --node) {
+      const int a = winners[static_cast<std::size_t>(2 * node)];
+      const int b = winners[static_cast<std::size_t>(2 * node + 1)];
+      const bool a_wins = beats(a, b);
+      winners[static_cast<std::size_t>(node)] = a_wins ? a : b;
+      tree_[static_cast<std::size_t>(node)] = a_wins ? b : a;
+    }
+    winner_ = winners[1];
+  }
+
+  /// Replays the path from run w's leaf to the root after w's front changed.
+  void replay(int w) {
+    int cur = w;
+    for (int node = (cap_ + w) / 2; node >= 1; node /= 2) {
+      int& loser = tree_[static_cast<std::size_t>(node)];
+      if (beats(loser, cur)) std::swap(loser, cur);
+    }
+    winner_ = cur;
+  }
+
+  Less less_;
+  int k_ = 0;
+  int cap_ = 0;
+  std::vector<std::span<const T>> runs_;
+  std::vector<std::int64_t> pos_;
+  std::vector<int> tree_;  ///< loser run index per internal node
+  int winner_ = -1;
+  std::int64_t total_ = 0;
+  std::int64_t produced_ = 0;
+};
+
+/// Merges `runs` (each sorted) into one sorted vector; O(N log k).
+template <typename T, typename Less = std::less<T>>
+std::vector<T> multiway_merge(std::span<const std::span<const T>> runs,
+                              Less less = {}) {
+  if (runs.empty()) return {};
+  if (runs.size() == 1) return std::vector<T>(runs[0].begin(), runs[0].end());
+  if (runs.size() == 2) {
+    std::vector<T> out(runs[0].size() + runs[1].size());
+    std::merge(runs[0].begin(), runs[0].end(), runs[1].begin(), runs[1].end(),
+               out.begin(), less);
+    return out;
+  }
+  LoserTree<T, Less> tree(runs, less);
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(tree.size()));
+  while (!tree.empty()) out.push_back(tree.pop());
+  return out;
+}
+
+/// Convenience overload for a vector of vectors.
+template <typename T, typename Less = std::less<T>>
+std::vector<T> multiway_merge(const std::vector<std::vector<T>>& runs,
+                              Less less = {}) {
+  std::vector<std::span<const T>> spans;
+  spans.reserve(runs.size());
+  for (const auto& r : runs) spans.emplace_back(r.data(), r.size());
+  return multiway_merge<T, Less>(
+      std::span<const std::span<const T>>(spans.data(), spans.size()), less);
+}
+
+}  // namespace pmps::seq

@@ -1,0 +1,50 @@
+// Local sorting helpers: insertion sort for tiny inputs, std::sort beyond.
+
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <functional>
+#include <span>
+#include <type_traits>
+
+#include "seq/radix_sort.hpp"
+
+namespace pmps::seq {
+
+inline constexpr std::size_t kInsertionSortThreshold = 24;
+inline constexpr std::size_t kRadixSortThreshold = 512;
+
+template <typename T, typename Less = std::less<T>>
+void insertion_sort(std::span<T> data, Less less = {}) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    T v = std::move(data[i]);
+    std::size_t j = i;
+    while (j > 0 && less(v, data[j - 1])) {
+      data[j] = std::move(data[j - 1]);
+      --j;
+    }
+    data[j] = std::move(v);
+  }
+}
+
+/// Local sort used at the leaves of all algorithms: insertion sort for tiny
+/// inputs, LSD radix sort for large unsigned-integer inputs under the
+/// default ordering, std::sort otherwise.
+template <typename T, typename Less = std::less<T>>
+void local_sort(std::span<T> data, Less less = {}) {
+  if (data.size() <= kInsertionSortThreshold) {
+    insertion_sort(data, less);
+    return;
+  }
+  if constexpr (std::unsigned_integral<T> &&
+                std::is_same_v<Less, std::less<T>>) {
+    if (data.size() >= kRadixSortThreshold) {
+      radix_sort(data);
+      return;
+    }
+  }
+  std::sort(data.begin(), data.end(), less);
+}
+
+}  // namespace pmps::seq

@@ -1,0 +1,101 @@
+// Batcher's odd-even merging and sorting networks [3].
+//
+// The deterministic data delivery algorithm (§4.3.1) merges two distributed
+// sorted sequences with Batcher's merging network in O(α log(p/r)) rounds;
+// the fast work-inefficient sorting algorithm (§4.2) is also traditionally
+// paired with such networks. We provide the comparator schedule (usable both
+// for data-oblivious sequential sorting and for tests via the 0-1 principle)
+// and in-place apply helpers.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace pmps::seq {
+
+using Comparator = std::pair<std::int64_t, std::int64_t>;  ///< (lo, hi) wire
+
+namespace detail {
+
+inline void odd_even_merge_schedule(std::int64_t lo, std::int64_t n,
+                                    std::int64_t step,
+                                    std::vector<Comparator>& out) {
+  const std::int64_t step2 = step * 2;
+  if (step2 < n) {
+    odd_even_merge_schedule(lo, n, step2, out);
+    odd_even_merge_schedule(lo + step, n, step2, out);
+    for (std::int64_t i = lo + step; i + step < lo + n; i += step2)
+      out.emplace_back(i, i + step);
+  } else {
+    out.emplace_back(lo, lo + step);
+  }
+}
+
+inline void odd_even_mergesort_schedule(std::int64_t lo, std::int64_t n,
+                                        std::vector<Comparator>& out) {
+  if (n > 1) {
+    const std::int64_t m = n / 2;
+    odd_even_mergesort_schedule(lo, m, out);
+    odd_even_mergesort_schedule(lo + m, m, out);
+    odd_even_merge_schedule(lo, n, 1, out);
+  }
+}
+
+}  // namespace detail
+
+/// Comparator schedule of Batcher's odd-even mergesort for n wires
+/// (n must be a power of two). Size Θ(n log² n).
+inline std::vector<Comparator> odd_even_mergesort_network(std::int64_t n) {
+  PMPS_CHECK(is_pow2(n));
+  std::vector<Comparator> out;
+  detail::odd_even_mergesort_schedule(0, n, out);
+  return out;
+}
+
+/// Comparator schedule that merges two sorted halves [0, n/2) and [n/2, n)
+/// (n a power of two).
+inline std::vector<Comparator> odd_even_merge_network(std::int64_t n) {
+  PMPS_CHECK(is_pow2(n) && n >= 2);
+  std::vector<Comparator> out;
+  detail::odd_even_merge_schedule(0, n, 1, out);
+  return out;
+}
+
+/// Applies a comparator schedule in place.
+template <typename T, typename Less = std::less<T>>
+void apply_network(std::span<T> data, std::span<const Comparator> network,
+                   Less less = {}) {
+  for (const auto& [lo, hi] : network) {
+    PMPS_ASSERT(lo < hi && hi < static_cast<std::int64_t>(data.size()));
+    T& a = data[static_cast<std::size_t>(lo)];
+    T& b = data[static_cast<std::size_t>(hi)];
+    if (less(b, a)) std::swap(a, b);
+  }
+}
+
+/// Data-oblivious sort of any size: pads virtually to the next power of two
+/// (missing wires compare as +infinity, i.e. comparators touching them are
+/// skipped when safe). For simplicity we sort a padded copy.
+template <typename T, typename Less = std::less<T>>
+void network_sort(std::span<T> data, Less less = {}) {
+  const auto n = static_cast<std::int64_t>(data.size());
+  if (n <= 1) return;
+  const std::int64_t padded = static_cast<std::int64_t>(
+      next_pow2(static_cast<std::uint64_t>(n)));
+  const auto network = odd_even_mergesort_network(padded);
+  for (const auto& [lo, hi] : network) {
+    if (hi >= n) continue;  // virtual +inf wire: never swaps downward
+    T& a = data[static_cast<std::size_t>(lo)];
+    T& b = data[static_cast<std::size_t>(hi)];
+    if (less(b, a)) std::swap(a, b);
+  }
+}
+
+}  // namespace pmps::seq

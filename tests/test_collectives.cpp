@@ -1,0 +1,247 @@
+// Tests for the collective operations, over many communicator sizes
+// (powers of two and odd sizes exercise both code paths).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/random.hpp"
+#include "net/engine.hpp"
+
+namespace pmps::coll {
+namespace {
+
+using net::Comm;
+using net::Engine;
+using net::MachineParams;
+
+class CollectivesP : public ::testing::TestWithParam<int> {
+ protected:
+  void run(const std::function<void(Comm&)>& f) {
+    Engine engine(GetParam(), MachineParams::supermuc_like(), 42);
+    engine.run(f);
+  }
+};
+
+TEST_P(CollectivesP, Barrier) {
+  run([](Comm& comm) {
+    for (int i = 0; i < 3; ++i) barrier(comm);
+  });
+}
+
+TEST_P(CollectivesP, BcastFromEveryRoot) {
+  run([](Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<std::int64_t> v;
+      if (comm.rank() == root) v = {root, root * 2, 77};
+      bcast(comm, v, root);
+      ASSERT_EQ(v, (std::vector<std::int64_t>{root, root * 2, 77}));
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceAdd) {
+  run([](Comm& comm) {
+    std::vector<std::int64_t> v{comm.rank(), 1};
+    v = reduce(comm, std::move(v), std::plus<std::int64_t>{}, 0);
+    if (comm.rank() == 0) {
+      const std::int64_t p = comm.size();
+      EXPECT_EQ(v[0], p * (p - 1) / 2);
+      EXPECT_EQ(v[1], p);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllreduceAddAndMax) {
+  run([](Comm& comm) {
+    const std::int64_t p = comm.size();
+    EXPECT_EQ(allreduce_add_one(comm, comm.rank()), p * (p - 1) / 2);
+    const auto mx = allreduce_one<std::int64_t>(
+        comm, comm.rank() * 3,
+        [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+    EXPECT_EQ(mx, (p - 1) * 3);
+  });
+}
+
+TEST_P(CollectivesP, ExscanAdd) {
+  run([](Comm& comm) {
+    std::vector<std::int64_t> v{1, comm.rank()};
+    const auto pre = exscan_add(comm, v);
+    const std::int64_t r = comm.rank();
+    EXPECT_EQ(pre[0], r);
+    EXPECT_EQ(pre[1], r * (r - 1) / 2);
+  });
+}
+
+TEST_P(CollectivesP, Gatherv) {
+  run([](Comm& comm) {
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(comm.rank() % 3),
+                                   comm.rank());
+    auto parts = gatherv(
+        comm, std::span<const std::int64_t>(mine.data(), mine.size()), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(parts.size()), comm.size());
+      for (int i = 0; i < comm.size(); ++i) {
+        ASSERT_EQ(parts[static_cast<std::size_t>(i)].size(),
+                  static_cast<std::size_t>(i % 3));
+        for (auto v : parts[static_cast<std::size_t>(i)]) EXPECT_EQ(v, i);
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesP, Allgatherv) {
+  run([](Comm& comm) {
+    std::vector<std::int64_t> mine{comm.rank(), comm.rank() + 100};
+    auto parts = allgatherv(
+        comm, std::span<const std::int64_t>(mine.data(), mine.size()));
+    ASSERT_EQ(static_cast<int>(parts.size()), comm.size());
+    for (int i = 0; i < comm.size(); ++i) {
+      ASSERT_EQ(parts[static_cast<std::size_t>(i)].size(), 2u);
+      EXPECT_EQ(parts[static_cast<std::size_t>(i)][0], i);
+      EXPECT_EQ(parts[static_cast<std::size_t>(i)][1], i + 100);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllgatherMergeProducesGlobalSortedSequence) {
+  run([](Comm& comm) {
+    Xoshiro256 rng(9, static_cast<std::uint64_t>(comm.rank()));
+    std::vector<std::uint64_t> mine(20 + comm.rank() % 5);
+    for (auto& v : mine) v = rng.bounded(1000);
+    std::sort(mine.begin(), mine.end());
+    auto merged = allgather_merge(
+        comm, std::span<const std::uint64_t>(mine.data(), mine.size()));
+    EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+    // Size = total contributions.
+    const auto total = allreduce_add_one(
+        comm, static_cast<std::int64_t>(mine.size()));
+    EXPECT_EQ(static_cast<std::int64_t>(merged.size()), total);
+    // Content preserved: every local element appears.
+    for (auto v : mine)
+      EXPECT_TRUE(std::binary_search(merged.begin(), merged.end(), v));
+  });
+}
+
+TEST_P(CollectivesP, AlltoallCountsIsTranspose) {
+  run([](Comm& comm) {
+    const int p = comm.size();
+    // send[i] = rank*1000 + i; expect recv[i] = i*1000 + rank.
+    std::vector<std::int64_t> send(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i)
+      send[static_cast<std::size_t>(i)] = comm.rank() * 1000 + i;
+    const auto recv = alltoall_counts(comm, send);
+    ASSERT_EQ(static_cast<int>(recv.size()), p);
+    for (int i = 0; i < p; ++i)
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 1000 + comm.rank());
+  });
+}
+
+class AlltoallvSched
+    : public ::testing::TestWithParam<std::tuple<int, Schedule>> {};
+
+TEST_P(AlltoallvSched, DeliversAllPayloads) {
+  const auto [p, sched] = GetParam();
+  Engine engine(p, MachineParams::supermuc_like(), 7);
+  engine.run([&](Comm& comm) {
+    std::vector<std::vector<std::int64_t>> send(
+        static_cast<std::size_t>(comm.size()));
+    for (int i = 0; i < comm.size(); ++i) {
+      // Variable-size payloads, with some empty pairs.
+      const int len = (comm.rank() + i) % 4;
+      for (int j = 0; j < len; ++j)
+        send[static_cast<std::size_t>(i)].push_back(comm.rank() * 100 + i);
+    }
+    auto recv = alltoallv(comm, std::move(send), sched);
+    ASSERT_EQ(static_cast<int>(recv.size()), comm.size());
+    for (int i = 0; i < comm.size(); ++i) {
+      const int len = (i + comm.rank()) % 4;
+      ASSERT_EQ(recv[static_cast<std::size_t>(i)].size(),
+                static_cast<std::size_t>(len));
+      for (auto v : recv[static_cast<std::size_t>(i)])
+        EXPECT_EQ(v, i * 100 + comm.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, AlltoallvSched,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 9, 16, 32),
+                       ::testing::Values(Schedule::kDirect,
+                                         Schedule::kOneFactor)));
+
+TEST(Alltoallv, OneFactorOmitsEmptyMessages) {
+  // All payloads empty → 1-factor sends only the Bruck counts exchange;
+  // direct sends p−1 (empty) payload messages per PE.
+  const int p = 16;
+  auto count_msgs = [&](Schedule sched) {
+    Engine engine(p, MachineParams::supermuc_like(), 3);
+    engine.run([&](Comm& comm) {
+      std::vector<std::vector<std::int64_t>> send(
+          static_cast<std::size_t>(p));
+      (void)alltoallv(comm, std::move(send), sched);
+    });
+    return engine.report().max_messages_sent;
+  };
+  const auto direct = count_msgs(Schedule::kDirect);
+  const auto onefactor = count_msgs(Schedule::kOneFactor);
+  EXPECT_EQ(direct, p - 1);
+  // Bruck: log2(16) = 4 rounds.
+  EXPECT_EQ(onefactor, 4);
+}
+
+TEST_P(CollectivesP, SparseExchangeRoutesMessages) {
+  run([](Comm& comm) {
+    const int p = comm.size();
+    // Each PE sends two messages to (rank+1)%p and one to (rank+2)%p.
+    std::vector<OutMessage<std::int64_t>> out;
+    out.push_back({(comm.rank() + 1) % p, {comm.rank(), 1}});
+    out.push_back({(comm.rank() + 1) % p, {comm.rank(), 2}});
+    out.push_back({(comm.rank() + 2) % p, {comm.rank(), 3}});
+    auto in = sparse_exchange(comm, out);
+    if (p == 1) {
+      ASSERT_EQ(in.size(), 3u);
+      return;
+    }
+    if (p == 2) {
+      // (rank+1)%2 and (rank+2)%2 overlap: 2 from the other + 1 from self.
+      ASSERT_EQ(in.size(), 3u);
+      return;
+    }
+    ASSERT_EQ(in.size(), 3u);
+    int from_prev = 0, from_prev2 = 0;
+    for (const auto& [src, payload] : in) {
+      if (src == (comm.rank() - 1 + p) % p) {
+        ++from_prev;
+        EXPECT_EQ(payload[0], src);
+      }
+      if (src == (comm.rank() - 2 + 2 * p) % p && payload[1] == 3) ++from_prev2;
+    }
+    EXPECT_EQ(from_prev, 2);
+    EXPECT_EQ(from_prev2, 1);
+  });
+}
+
+TEST(SparseExchange, ChargesOnlyActualMessagesPlusBarrier) {
+  const int p = 32;
+  Engine engine(p, MachineParams::supermuc_like(), 3);
+  engine.run([&](Comm& comm) {
+    std::vector<OutMessage<std::int64_t>> out;
+    if (comm.rank() == 0) out.push_back({1, {1, 2, 3}});
+    (void)sparse_exchange(comm, out);
+  });
+  // Sent messages per PE: the one payload (rank 0) + barrier rounds (5).
+  EXPECT_LE(engine.report().max_messages_sent, 1 + 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
+                                           32, 64));
+
+}  // namespace
+}  // namespace pmps::coll

@@ -1,0 +1,147 @@
+// Unit tests for common utilities: math helpers, RNG, types.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace pmps {
+namespace {
+
+TEST(Math, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 4), 0);
+  EXPECT_EQ(div_ceil(1, 4), 1);
+  EXPECT_EQ(div_ceil(4, 4), 1);
+  EXPECT_EQ(div_ceil(5, 4), 2);
+  EXPECT_EQ(div_ceil(8, 4), 2);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Math, Logs) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+}
+
+TEST(Math, KthRoot) {
+  EXPECT_EQ(kth_root(27, 3), 3);
+  EXPECT_EQ(kth_root(26, 3), 2);
+  EXPECT_EQ(kth_root(1024, 2), 32);
+  EXPECT_EQ(kth_root(1, 5), 1);
+  EXPECT_EQ(kth_root(7, 1), 7);
+}
+
+TEST(Math, ChunkBegin) {
+  // 10 elements in 4 chunks: 3,3,2,2.
+  EXPECT_EQ(chunk_begin(10, 4, 0), 0);
+  EXPECT_EQ(chunk_begin(10, 4, 1), 3);
+  EXPECT_EQ(chunk_begin(10, 4, 2), 6);
+  EXPECT_EQ(chunk_begin(10, 4, 3), 8);
+  EXPECT_EQ(chunk_begin(10, 4, 4), 10);
+}
+
+TEST(Math, ChunkBeginCoversAll) {
+  for (std::int64_t n : {0, 1, 5, 17, 100}) {
+    for (std::int64_t parts : {1, 2, 3, 7, 16}) {
+      std::int64_t covered = 0;
+      std::int64_t max_sz = 0, min_sz = n + 1;
+      for (std::int64_t i = 0; i < parts; ++i) {
+        const auto sz = chunk_begin(n, parts, i + 1) - chunk_begin(n, parts, i);
+        EXPECT_GE(sz, 0);
+        covered += sz;
+        max_sz = std::max(max_sz, sz);
+        min_sz = std::min(min_sz, sz);
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_LE(max_sz - min_sz, 1) << "n=" << n << " parts=" << parts;
+    }
+  }
+}
+
+TEST(Random, DeterministicStreams) {
+  Xoshiro256 a(42, 1), b(42, 1), c(42, 2);
+  EXPECT_EQ(a(), b());
+  Xoshiro256 a2(42, 1);
+  EXPECT_NE(a2(), c());  // different streams diverge (overwhelmingly likely)
+}
+
+TEST(Random, BoundedInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Random, BoundedRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> hits(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits[rng.bounded(10)]++;
+  for (int h : hits) {
+    EXPECT_GT(h, n / 10 - n / 50);
+    EXPECT_LT(h, n / 10 + n / 50);
+  }
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Types, TaggedKeyOrdering) {
+  TaggedKey<int> a{5, 0, 0}, b{5, 0, 1}, c{5, 1, 0}, d{6, 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Types, Record100Ordering) {
+  Record100 a{}, b{};
+  a.key[0] = 1;
+  b.key[0] = 2;
+  EXPECT_LT(a, b);
+  b.key[0] = 1;
+  EXPECT_TRUE(a == b);
+  b.key[9] = 1;
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace pmps

@@ -1,0 +1,318 @@
+// Tests for data delivery (§4.3, §4.3.1, Appendix A): correctness (all data
+// arrives at the right group, balanced), and the message-startup guarantees
+// that distinguish the algorithms on adversarial inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "common/random.hpp"
+#include "delivery/delivery.hpp"
+#include "net/engine.hpp"
+
+namespace pmps::delivery {
+namespace {
+
+using net::Comm;
+using net::Engine;
+using net::MachineParams;
+
+/// Piece-size generator per PE: returns r sizes.
+using PieceGen = std::function<std::vector<std::int64_t>(int pe, int p, int r)>;
+
+struct DeliveryOutcome {
+  std::vector<std::int64_t> received_per_pe;   ///< elements
+  std::vector<std::int64_t> runs_per_pe;       ///< payload messages received
+  std::vector<std::uint64_t> content_sum_per_pe;
+  std::uint64_t sent_content_sum = 0;
+  std::int64_t total_sent = 0;
+  bool group_membership_ok = true;
+};
+
+/// Runs a delivery of synthetic pieces: element value encodes
+/// (group, sender, sequence) so receivers can check group membership.
+DeliveryOutcome run_delivery(int p, int r, Algo algo, const PieceGen& gen,
+                             std::uint64_t seed = 1) {
+  Engine engine(p, MachineParams::supermuc_like(), seed);
+  DeliveryOutcome out;
+  out.received_per_pe.assign(static_cast<std::size_t>(p), 0);
+  out.runs_per_pe.assign(static_cast<std::size_t>(p), 0);
+  out.content_sum_per_pe.assign(static_cast<std::size_t>(p), 0);
+  std::mutex mu;
+
+  engine.run([&](Comm& comm) {
+    const auto sizes = gen(comm.rank(), p, r);
+    PMPS_CHECK(static_cast<int>(sizes.size()) == r);
+    std::vector<std::uint64_t> data;
+    for (int g = 0; g < r; ++g) {
+      for (std::int64_t i = 0; i < sizes[static_cast<std::size_t>(g)]; ++i) {
+        data.push_back((static_cast<std::uint64_t>(g) << 48) |
+                       (static_cast<std::uint64_t>(comm.rank()) << 24) |
+                       static_cast<std::uint64_t>(i & 0xffffff));
+      }
+    }
+    std::uint64_t my_sum = 0;
+    for (auto v : data) my_sum += v;
+
+    auto runs = deliver(comm,
+                        std::span<const std::uint64_t>(data.data(), data.size()),
+                        sizes, algo, seed);
+
+    const int p_prime = p / r;
+    const int my_group = comm.rank() / p_prime;
+    std::int64_t count = 0;
+    std::uint64_t sum = 0;
+    bool groups_ok = true;
+    for (const auto& run : runs) {
+      for (auto v : run) {
+        ++count;
+        sum += v;
+        if (static_cast<int>(v >> 48) != my_group) groups_ok = false;
+      }
+    }
+    std::lock_guard lock(mu);
+    out.received_per_pe[static_cast<std::size_t>(comm.rank())] = count;
+    out.runs_per_pe[static_cast<std::size_t>(comm.rank())] =
+        static_cast<std::int64_t>(runs.size());
+    out.content_sum_per_pe[static_cast<std::size_t>(comm.rank())] = sum;
+    out.sent_content_sum += my_sum;
+    out.total_sent += static_cast<std::int64_t>(data.size());
+    if (!groups_ok) out.group_membership_ok = false;
+  });
+  return out;
+}
+
+constexpr Algo kAllAlgos[] = {Algo::kSimple, Algo::kRandomized,
+                              Algo::kDeterministic,
+                              Algo::kAdvancedRandomized};
+
+struct Shape {
+  int p;
+  int r;
+};
+
+class DeliveryCorrectness
+    : public ::testing::TestWithParam<std::tuple<Shape, Algo>> {};
+
+TEST_P(DeliveryCorrectness, UniformPieces) {
+  const auto [shape, algo] = GetParam();
+  auto gen = [](int pe, int, int r) {
+    Xoshiro256 rng(100, static_cast<std::uint64_t>(pe));
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(r));
+    for (auto& s : sizes) s = static_cast<std::int64_t>(rng.bounded(40));
+    return sizes;
+  };
+  const auto out = run_delivery(shape.p, shape.r, algo, gen);
+
+  EXPECT_TRUE(out.group_membership_ok);
+  // Permutation: content preserved.
+  std::uint64_t received_sum = 0;
+  std::int64_t received = 0, n_total = 0;
+  for (int pe = 0; pe < shape.p; ++pe) {
+    received_sum += out.content_sum_per_pe[static_cast<std::size_t>(pe)];
+    received += out.received_per_pe[static_cast<std::size_t>(pe)];
+  }
+  n_total = out.total_sent;
+  EXPECT_EQ(received, out.total_sent);
+  EXPECT_EQ(received_sum, out.sent_content_sum);
+
+  // Balance within each group: the prefix-sum algorithms split group
+  // streams into ±1 chunks; the deterministic algorithm is bounded by
+  // max(quota, r·small_limit) (§4.3.1 analysis).
+  const int p_prime = shape.p / shape.r;
+  const std::int64_t small_limit = std::max<std::int64_t>(
+      1, n_total / (2 * static_cast<std::int64_t>(shape.p) * shape.r));
+  for (int g = 0; g < shape.r; ++g) {
+    std::int64_t lo = INT64_MAX, hi = 0, tot = 0;
+    for (int q = 0; q < p_prime; ++q) {
+      const auto c = out.received_per_pe[static_cast<std::size_t>(
+          g * p_prime + q)];
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+      tot += c;
+    }
+    if (algo == Algo::kDeterministic) {
+      EXPECT_LE(hi, std::max<std::int64_t>(div_ceil(tot, p_prime),
+                                           shape.r * small_limit) +
+                        small_limit)
+          << "group " << g;
+    } else {
+      EXPECT_LE(hi - lo, 1) << "group " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DeliveryCorrectness,
+    ::testing::Combine(::testing::Values(Shape{4, 2}, Shape{8, 2}, Shape{8, 4},
+                                         Shape{16, 4}, Shape{16, 16},
+                                         Shape{32, 8}, Shape{36, 6},
+                                         Shape{64, 4}),
+                       ::testing::ValuesIn(kAllAlgos)));
+
+class DeliveryEdgeCases : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(DeliveryEdgeCases, AllDataToOneGroup) {
+  const auto algo = GetParam();
+  auto gen = [](int, int, int r) {
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(r), 0);
+    sizes[0] = 50;
+    return sizes;
+  };
+  const auto out = run_delivery(16, 4, algo, gen);
+  EXPECT_TRUE(out.group_membership_ok);
+  std::int64_t got = 0;
+  for (int pe = 0; pe < 4; ++pe)
+    got += out.received_per_pe[static_cast<std::size_t>(pe)];
+  EXPECT_EQ(got, out.total_sent);
+  for (int pe = 4; pe < 16; ++pe)
+    EXPECT_EQ(out.received_per_pe[static_cast<std::size_t>(pe)], 0);
+}
+
+TEST_P(DeliveryEdgeCases, EmptyInput) {
+  const auto algo = GetParam();
+  auto gen = [](int, int, int r) {
+    return std::vector<std::int64_t>(static_cast<std::size_t>(r), 0);
+  };
+  const auto out = run_delivery(8, 2, algo, gen);
+  EXPECT_EQ(out.total_sent, 0);
+  for (auto c : out.received_per_pe) EXPECT_EQ(c, 0);
+}
+
+TEST_P(DeliveryEdgeCases, SingleElementTotal) {
+  const auto algo = GetParam();
+  auto gen = [](int pe, int, int r) {
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(r), 0);
+    if (pe == 3) sizes[static_cast<std::size_t>(r - 1)] = 1;
+    return sizes;
+  };
+  const auto out = run_delivery(8, 4, algo, gen);
+  EXPECT_EQ(out.total_sent, 1);
+  std::int64_t got = 0;
+  for (auto c : out.received_per_pe) got += c;
+  EXPECT_EQ(got, 1);
+}
+
+TEST_P(DeliveryEdgeCases, RGroupsEqualsP) {
+  // Every group is a single PE (last level of the recursion).
+  const auto algo = GetParam();
+  auto gen = [](int pe, int, int r) {
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(r), 0);
+    for (int g = 0; g < r; ++g)
+      sizes[static_cast<std::size_t>(g)] = 1 + (pe + g) % 3;
+    return sizes;
+  };
+  const auto out = run_delivery(8, 8, algo, gen);
+  EXPECT_TRUE(out.group_membership_ok);
+  std::int64_t got = 0;
+  for (auto c : out.received_per_pe) got += c;
+  EXPECT_EQ(got, out.total_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, DeliveryEdgeCases,
+                         ::testing::ValuesIn(kAllAlgos));
+
+// ---------------------------------------------------------------------------
+// Adversarial startup-count behaviour (the point of §4.3.1 / Appendix A)
+// ---------------------------------------------------------------------------
+
+/// The bad case of §4.3 (Figure 3): many consecutively numbered PEs send
+/// only a tiny piece to group 0 while two late PEs send huge group-0 pieces,
+/// so with the identity enumeration *all* tiny pieces land on the first
+/// receiver of group 0. Every PE holds the same total (the algorithms'
+/// balanced-input precondition): the tiny senders put the rest elsewhere.
+std::vector<std::int64_t> adversarial_gen(int pe, int p, int r) {
+  const std::int64_t total_per_pe = 4 * p;  // makes group-0 quota ≥ #tiny
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(r), 0);
+  if (pe < p - 2) {
+    sizes[0] = 1;  // tiny piece for group 0
+    // Spread the rest over the other groups.
+    const std::int64_t rest = total_per_pe - 1;
+    for (int g = 1; g < r; ++g)
+      sizes[static_cast<std::size_t>(g)] =
+          chunk_begin(rest, r - 1, g) - chunk_begin(rest, r - 1, g - 1);
+  } else {
+    sizes[0] = total_per_pe;  // bulk for group 0 at the end
+  }
+  return sizes;
+}
+
+TEST(DeliveryAdversarial, SimpleConcentratesMessages) {
+  const int p = 64, r = 8;
+  const auto out = run_delivery(p, r, Algo::kSimple, adversarial_gen);
+  // With identity enumeration the p−2 tiny pieces occupy the first
+  // positions of group 0's stream: its first receiver gets ~p−2 messages.
+  std::int64_t max_runs = 0;
+  for (auto m : out.runs_per_pe) max_runs = std::max(max_runs, m);
+  EXPECT_GE(max_runs, p - 8);
+}
+
+TEST(DeliveryAdversarial, DeterministicBoundsReceivedPieces) {
+  const int p = 64, r = 8;
+  const auto out = run_delivery(p, r, Algo::kDeterministic, adversarial_gen);
+  // Theorem 1: ≤ r small + ≤ 2r large pieces per receiver.
+  for (auto m : out.runs_per_pe) EXPECT_LE(m, 3 * r + 2);
+}
+
+TEST(DeliveryAdversarial, AdvancedRandomizedBoundsReceivedPieces) {
+  const int p = 64, r = 8;
+  const auto out =
+      run_delivery(p, r, Algo::kAdvancedRandomized, adversarial_gen);
+  // Theorem 4 / Lemma 6: ≈ 1 + 2r(1+1/a) with a ≥ 1 whp.
+  for (auto m : out.runs_per_pe) EXPECT_LE(m, 4 * r + 8);
+}
+
+TEST(DeliveryAdversarial, RandomizedSpreadsMessages) {
+  const int p = 64, r = 8;
+  const auto simple = run_delivery(p, r, Algo::kSimple, adversarial_gen);
+  const auto rnd = run_delivery(p, r, Algo::kRandomized, adversarial_gen);
+  std::int64_t max_simple = 0, max_rnd = 0;
+  for (auto m : simple.runs_per_pe) max_simple = std::max(max_simple, m);
+  for (auto m : rnd.runs_per_pe) max_rnd = std::max(max_rnd, m);
+  EXPECT_LT(max_rnd, max_simple / 2);
+}
+
+TEST(DeliveryAdversarial, AllVariantsStillCorrect) {
+  const int p = 64, r = 8;
+  for (Algo algo : kAllAlgos) {
+    const auto out = run_delivery(p, r, algo, adversarial_gen);
+    EXPECT_TRUE(out.group_membership_ok) << algo_name(algo);
+    std::int64_t got = 0;
+    std::uint64_t sum = 0;
+    for (int pe = 0; pe < p; ++pe) {
+      got += out.received_per_pe[static_cast<std::size_t>(pe)];
+      sum += out.content_sum_per_pe[static_cast<std::size_t>(pe)];
+    }
+    EXPECT_EQ(got, out.total_sent) << algo_name(algo);
+    EXPECT_EQ(sum, out.sent_content_sum) << algo_name(algo);
+  }
+}
+
+TEST(DeliverySortedRuns, FragmentsStaySorted) {
+  // If the sender's data is sorted, every received run must be sorted
+  // (RLM-sort merges them directly).
+  const int p = 8, r = 2;
+  Engine engine(p, MachineParams::supermuc_like(), 6);
+  engine.run([&](Comm& comm) {
+    std::vector<std::uint64_t> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<std::uint64_t>(comm.rank()) * 1000 +
+                static_cast<std::uint64_t>(i);
+    std::vector<std::int64_t> sizes{32, 32};
+    for (Algo algo : kAllAlgos) {
+      auto runs = deliver(
+          comm, std::span<const std::uint64_t>(data.data(), data.size()),
+          sizes, algo, 3);
+      for (const auto& run : runs)
+        EXPECT_TRUE(std::is_sorted(run.begin(), run.end()));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pmps::delivery

@@ -1,0 +1,195 @@
+// Tests for the simulated cluster runtime: machine model, mailboxes,
+// virtual clocks, determinism, communicator splitting, phase accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "net/comm.hpp"
+#include "net/engine.hpp"
+#include "net/machine.hpp"
+
+namespace pmps::net {
+namespace {
+
+TEST(Machine, LevelBetween) {
+  auto m = MachineParams::supermuc_like();
+  EXPECT_EQ(m.level_between(0, 0), LinkLevel::kSelf);
+  EXPECT_EQ(m.level_between(0, 15), LinkLevel::kNode);
+  EXPECT_EQ(m.level_between(0, 16), LinkLevel::kIsland);
+  EXPECT_EQ(m.level_between(0, 16 * 512 - 1), LinkLevel::kIsland);
+  EXPECT_EQ(m.level_between(0, 16 * 512), LinkLevel::kGlobal);
+  EXPECT_EQ(m.level_between(16 * 512, 16 * 512 + 3), LinkLevel::kNode);
+}
+
+TEST(Machine, CostsMonotone) {
+  auto m = MachineParams::supermuc_like();
+  EXPECT_LT(m.message_cost(LinkLevel::kNode, 1000),
+            m.message_cost(LinkLevel::kIsland, 1000));
+  EXPECT_LT(m.message_cost(LinkLevel::kIsland, 1000),
+            m.message_cost(LinkLevel::kGlobal, 1000));
+  EXPECT_LT(m.sort_cost(1000), m.sort_cost(100000));
+  EXPECT_GT(m.sort_cost(1000), 0);
+  EXPECT_EQ(m.sort_cost(0), 0);
+}
+
+TEST(Engine, RunsAllPes) {
+  Engine engine(8, MachineParams::supermuc_like());
+  std::atomic<int> count{0};
+  engine.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 8);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 8);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Engine, PointToPointMovesData) {
+  Engine engine(4, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    const std::uint64_t tag = comm.next_tag_block();
+    if (comm.rank() == 0) {
+      std::vector<std::int64_t> payload{1, 2, 3};
+      comm.send<std::int64_t>(1, tag, payload);
+    } else if (comm.rank() == 1) {
+      auto v = comm.recv<std::int64_t>(0, tag);
+      EXPECT_EQ(v, (std::vector<std::int64_t>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(Engine, VirtualTimeAdvancesOnMessages) {
+  Engine engine(2, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    const std::uint64_t tag = comm.next_tag_block();
+    if (comm.rank() == 0) {
+      std::vector<std::int64_t> payload(1000, 7);
+      comm.send<std::int64_t>(1, tag, payload);
+      EXPECT_GT(comm.now(), 0.0);
+    } else {
+      (void)comm.recv<std::int64_t>(0, tag);
+      EXPECT_GT(comm.now(), 0.0);
+    }
+  });
+  // Receiver cannot finish before sender.
+  EXPECT_GE(engine.pe_context(1).clock, engine.pe_context(0).clock * 0.99);
+  EXPECT_GT(engine.report().wall_time, 0.0);
+  EXPECT_EQ(engine.report().max_messages_sent, 1);
+  EXPECT_EQ(engine.report().max_messages_received, 1);
+}
+
+TEST(Engine, SelfSendIsNotAMessage) {
+  Engine engine(2, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    const std::uint64_t tag = comm.next_tag_block();
+    std::vector<std::int64_t> payload{int64_t{42}};
+    comm.send<std::int64_t>(comm.rank(), tag, payload);
+    auto v = comm.recv<std::int64_t>(comm.rank(), tag);
+    EXPECT_EQ(v[0], 42);
+  });
+  EXPECT_EQ(engine.report().max_messages_sent, 0);
+}
+
+TEST(Engine, DeterministicVirtualTime) {
+  auto run_once = [] {
+    Engine engine(16, MachineParams::supermuc_like(), /*seed=*/5);
+    engine.run([&](Comm& comm) {
+      std::vector<std::int64_t> v{comm.rank()};
+      v = coll::allreduce_add(comm, std::move(v));
+      coll::barrier(comm);
+    });
+    return engine.report().wall_time;
+  };
+  const double t1 = run_once();
+  const double t2 = run_once();
+  EXPECT_EQ(t1, t2);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(Engine, FreeModeChargesNothing) {
+  Engine engine(4, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    {
+      FreeModeGuard guard(comm.ctx());
+      coll::barrier(comm);
+      std::vector<std::int64_t> v{1};
+      v = coll::allreduce_add(comm, std::move(v));
+      EXPECT_EQ(v[0], 4);
+    }
+    EXPECT_EQ(comm.now(), 0.0);
+  });
+  EXPECT_EQ(engine.report().wall_time, 0.0);
+  EXPECT_EQ(engine.report().max_messages_sent, 0);
+}
+
+TEST(Engine, PhaseAccounting) {
+  Engine engine(2, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    comm.set_phase(Phase::kLocalSort);
+    comm.charge(1.0);
+    comm.set_phase(Phase::kDataDelivery);
+    comm.charge(0.5);
+  });
+  const auto rep = engine.report();
+  EXPECT_DOUBLE_EQ(rep.phase(Phase::kLocalSort), 1.0);
+  EXPECT_DOUBLE_EQ(rep.phase(Phase::kDataDelivery), 0.5);
+  EXPECT_DOUBLE_EQ(rep.wall_time, 1.5);
+}
+
+TEST(Engine, SplitConsecutive) {
+  Engine engine(8, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    Comm sub = comm.split_consecutive(4);  // 4 groups of 2
+    EXPECT_EQ(sub.size(), 2);
+    EXPECT_EQ(sub.rank(), comm.rank() % 2);
+    EXPECT_EQ(sub.member(sub.rank()), comm.rank());
+    // Virtual time unaffected by split.
+    EXPECT_EQ(comm.now(), 0.0);
+    // Sub-communicator works for messaging.
+    const std::uint64_t tag = sub.next_tag_block();
+    if (sub.rank() == 0) {
+      sub.send_one<std::int64_t>(1, tag, comm.rank());
+    } else {
+      const auto v = sub.recv_one<std::int64_t>(0, tag);
+      EXPECT_EQ(v, comm.rank() - 1);
+    }
+  });
+}
+
+TEST(Engine, SplitByColorAndKey) {
+  Engine engine(6, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    // Odd/even split with reversed key order.
+    Comm sub = comm.split(comm.rank() % 2, -comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Reversed ranks: highest original rank gets rank 0.
+    const int expected_rank = (5 - comm.rank()) / 2;
+    EXPECT_EQ(sub.rank(), expected_rank);
+  });
+}
+
+TEST(Engine, NoisePerturbsTimesDeterministically) {
+  auto noisy = MachineParams::supermuc_like();
+  noisy.comm_noise_frac = 0.3;
+  auto run_once = [&](std::uint64_t seed) {
+    Engine engine(8, noisy, seed);
+    engine.run([&](Comm& comm) { coll::barrier(comm); });
+    return engine.report().wall_time;
+  };
+  EXPECT_EQ(run_once(1), run_once(1));   // same seed → same time
+  EXPECT_NE(run_once(1), run_once(2));   // noise depends on seed
+}
+
+TEST(Engine, ManyPes) {
+  Engine engine(128, MachineParams::supermuc_like());
+  engine.run([&](Comm& comm) {
+    const auto v = coll::allreduce_add_one(comm, 1);
+    EXPECT_EQ(v, 128);
+  });
+}
+
+}  // namespace
+}  // namespace pmps::net

@@ -1,0 +1,72 @@
+// Tests for the Feistel pseudorandom permutation (paper Appendix B).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "prng/feistel.hpp"
+
+namespace pmps::prng {
+namespace {
+
+class FeistelBijection : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeistelBijection, IsBijective) {
+  const std::uint64_t n = GetParam();
+  FeistelPermutation perm(n, /*seed=*/123);
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = perm(i);
+    ASSERT_LT(v, n);
+    ASSERT_FALSE(seen[v]) << "collision at " << i;
+    seen[v] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FeistelBijection,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 100, 101, 255,
+                                           256, 1000, 4096, 10007));
+
+TEST(Feistel, DifferentSeedsDifferentPermutations) {
+  const std::uint64_t n = 256;
+  FeistelPermutation a(n, 1), b(n, 2);
+  int differ = 0;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (a(i) != b(i)) ++differ;
+  EXPECT_GT(differ, static_cast<int>(n) / 2);
+}
+
+TEST(Feistel, SameSeedSamePermutation) {
+  const std::uint64_t n = 500;
+  FeistelPermutation a(n, 99), b(n, 99);
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(a(i), b(i));
+}
+
+TEST(Feistel, ScattersConsecutiveInputs) {
+  // The delivery algorithms rely on consecutive indices mapping far apart:
+  // check that images of a consecutive run are well spread (no long runs of
+  // consecutive images).
+  const std::uint64_t n = 1024;
+  FeistelPermutation perm(n, 7);
+  int consecutive_pairs = 0;
+  for (std::uint64_t i = 0; i + 1 < n; ++i)
+    if (perm(i + 1) == perm(i) + 1) ++consecutive_pairs;
+  EXPECT_LT(consecutive_pairs, 32);
+}
+
+TEST(Feistel, AverageDisplacementLarge) {
+  const std::uint64_t n = 4096;
+  FeistelPermutation perm(n, 5);
+  double total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto d = static_cast<double>(perm(i)) - static_cast<double>(i);
+    total += d > 0 ? d : -d;
+  }
+  // Random permutation expectation: n/3.
+  EXPECT_GT(total / static_cast<double>(n), static_cast<double>(n) / 6);
+}
+
+}  // namespace
+}  // namespace pmps::prng

@@ -1,0 +1,194 @@
+// Tests for the harness: workloads, verification, tables, the analytic
+// cost model's qualitative properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ams/level_config.hpp"
+#include "harness/model.hpp"
+#include "harness/tables.hpp"
+#include "harness/verify.hpp"
+#include "harness/workloads.hpp"
+#include "net/engine.hpp"
+
+namespace pmps::harness {
+namespace {
+
+TEST(Workloads, DeterministicAndRightSize) {
+  for (Workload w : kAllWorkloads) {
+    const auto a = make_workload(w, 2, 8, 100, 7);
+    const auto b = make_workload(w, 2, 8, 100, 7);
+    EXPECT_EQ(a, b) << workload_name(w);
+    EXPECT_EQ(a.size(), 100u);
+    const auto c = make_workload(w, 3, 8, 100, 7);
+    if (w != Workload::kAllEqual) EXPECT_NE(a, c);
+  }
+}
+
+TEST(Workloads, SortedGlobalIsGloballySorted) {
+  std::vector<std::uint64_t> all;
+  for (int pe = 0; pe < 8; ++pe) {
+    const auto part = make_workload(Workload::kSortedGlobal, pe, 8, 50, 1);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(Workloads, ReverseGlobalIsReverseSorted) {
+  std::vector<std::uint64_t> all;
+  for (int pe = 0; pe < 8; ++pe) {
+    const auto part = make_workload(Workload::kReverseGlobal, pe, 8, 50, 1);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  EXPECT_TRUE(std::is_sorted(all.rbegin(), all.rend()));
+}
+
+TEST(Workloads, LocalSortedIsLocallySorted) {
+  const auto part = make_workload(Workload::kLocalSorted, 3, 8, 200, 1);
+  EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+}
+
+TEST(Verify, AcceptsCorrectOutput) {
+  net::Engine engine(4, net::MachineParams::supermuc_like(), 1);
+  engine.run([&](net::Comm& comm) {
+    // Globally sorted, balanced output; input hash == output hash.
+    std::vector<std::uint64_t> data;
+    for (int i = 0; i < 10; ++i)
+      data.push_back(static_cast<std::uint64_t>(comm.rank() * 10 + i));
+    const auto h = content_hash(
+        std::span<const std::uint64_t>(data.data(), data.size()));
+    const auto check = verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()), h,
+        static_cast<std::int64_t>(data.size()));
+    EXPECT_TRUE(check.ok());
+    EXPECT_EQ(check.total, 40);
+    EXPECT_NEAR(check.imbalance, 0.0, 1e-12);
+    // Verification must be free.
+    EXPECT_EQ(comm.now(), 0.0);
+  });
+}
+
+TEST(Verify, RejectsUnsortedOutput) {
+  net::Engine engine(2, net::MachineParams::supermuc_like(), 1);
+  engine.run([&](net::Comm& comm) {
+    std::vector<std::uint64_t> data{5, 3, 1};
+    const auto h = content_hash(
+        std::span<const std::uint64_t>(data.data(), data.size()));
+    const auto check = verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()), h, 3);
+    EXPECT_FALSE(check.locally_sorted);
+  });
+}
+
+TEST(Verify, RejectsGloballyMisordered) {
+  net::Engine engine(2, net::MachineParams::supermuc_like(), 1);
+  engine.run([&](net::Comm& comm) {
+    // PE 0 holds {10}, PE 1 holds {5}: locally sorted, globally wrong.
+    std::vector<std::uint64_t> data{comm.rank() == 0 ? 10ull : 5ull};
+    const auto h = content_hash(
+        std::span<const std::uint64_t>(data.data(), data.size()));
+    const auto check = verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()), h, 1);
+    EXPECT_TRUE(check.locally_sorted);
+    EXPECT_FALSE(check.globally_ordered);
+  });
+}
+
+TEST(Verify, RejectsContentChange) {
+  net::Engine engine(2, net::MachineParams::supermuc_like(), 1);
+  engine.run([&](net::Comm& comm) {
+    std::vector<std::uint64_t> data{1, 2, 3};
+    const auto check = verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()),
+        /*input_hash=*/12345, 3);
+    EXPECT_FALSE(check.permutation_ok);
+  });
+}
+
+TEST(Tables, MedianAndQuantiles) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0, 5.0}, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 3.0}, 0.5), 3.0);  // sorts internally
+}
+
+TEST(Tables, FormatsSeconds) {
+  EXPECT_EQ(format_seconds(2.5), "2.500s");
+  EXPECT_EQ(format_seconds(0.0025), "2.50ms");
+  EXPECT_EQ(format_seconds(2.5e-7), "0.2us");
+}
+
+// ---------------------------------------------------------------------------
+// Analytic model: qualitative shapes that also hold in the paper.
+// ---------------------------------------------------------------------------
+
+TEST(Model, MultiLevelWinsForSmallInputsAtLargeP) {
+  const auto m = net::MachineParams::supermuc_like();
+  const std::int64_t p = 32768;
+  const std::int64_t n_small = 100000;  // n/p = 10^5
+  const auto t1 =
+      model_ams(m, p, n_small, ams::level_group_counts(p, 1), 8, 16);
+  const auto t2 =
+      model_ams(m, p, n_small, ams::level_group_counts(p, 2), 8, 16);
+  EXPECT_LT(t2.total, t1.total)
+      << "2-level must beat 1-level at p=32768, n/p=1e5";
+}
+
+TEST(Model, SingleLevelCompetitiveForHugeInputs) {
+  const auto m = net::MachineParams::supermuc_like();
+  const std::int64_t p = 512;
+  const std::int64_t n_large = 10000000;  // n/p = 10^7
+  const auto t1 =
+      model_ams(m, p, n_large, ams::level_group_counts(p, 1), 8, 16);
+  const auto t3 =
+      model_ams(m, p, n_large, ams::level_group_counts(p, 3), 8, 16);
+  // With huge inputs the extra data movement of 3 levels is not worth it.
+  EXPECT_LT(t1.total, t3.total);
+}
+
+TEST(Model, RlmSlowdownGrowsForSmallInputs) {
+  // Figure 7's shape: slowdown of RLM vs AMS increases as n/p shrinks.
+  const auto m = net::MachineParams::supermuc_like();
+  const std::int64_t p = 8192;
+  auto slowdown = [&](std::int64_t n_per_pe) {
+    double best_ams = 1e100, best_rlm = 1e100;
+    for (int k = 1; k <= 3; ++k) {
+      const auto rs = ams::level_group_counts(p, k);
+      best_ams = std::min(best_ams, model_ams(m, p, n_per_pe, rs, 8, 16).total);
+      best_rlm = std::min(best_rlm, model_rlm(m, p, n_per_pe, rs).total);
+    }
+    return best_rlm / best_ams;
+  };
+  EXPECT_GT(slowdown(100000), 1.0);
+  EXPECT_GT(slowdown(100000), slowdown(10000000) * 0.99);
+}
+
+TEST(Model, MpSortLikeMuchSlowerAtScale) {
+  // §7.3: single-level sort-from-scratch at p = 2^14, n/p = 1e5 is orders
+  // of magnitude slower than 2-level AMS-sort.
+  const auto m = net::MachineParams::supermuc_like();
+  const std::int64_t p = 16384;
+  const std::int64_t n = 100000;
+  const auto mp = model_single_level(m, p, n, /*sort_from_scratch=*/true);
+  const auto ams2 = model_ams(m, p, n, ams::level_group_counts(p, 2), 8, 16);
+  EXPECT_GT(mp.total / ams2.total, 10.0);
+}
+
+TEST(Model, WeakScalingGrowsSlowly) {
+  // Table 2 shape: for fixed n/p, time grows by a small factor with p.
+  const auto m = net::MachineParams::supermuc_like();
+  const std::int64_t n = 1000000;
+  const auto t512 =
+      model_ams(m, 512, n, ams::level_group_counts(512, 2), 8, 16);
+  const auto t32k =
+      model_ams(m, 32768, n, ams::level_group_counts(32768, 2), 8, 16);
+  EXPECT_GT(t32k.total, t512.total);
+  EXPECT_LT(t32k.total / t512.total, 6.0);  // paper: ~3.5x at n/p=1e6
+}
+
+}  // namespace
+}  // namespace pmps::harness
