@@ -52,8 +52,10 @@ double executed(const net::MachineParams& machine, int p, std::int64_t n,
 
 std::string join(const std::vector<int>& rs) {
   std::string s;
-  for (std::size_t i = 0; i < rs.size(); ++i)
-    s += (i ? "/" : "") + std::to_string(rs[i]);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (i) s += '/';
+    s += std::to_string(rs[i]);
+  }
   return s;
 }
 

@@ -296,7 +296,7 @@ TEST(DeliveryAdversarial, AllVariantsStillCorrect) {
 TEST(DeliverySortedRuns, FragmentsStaySorted) {
   // If the sender's data is sorted, every received run must be sorted
   // (RLM-sort merges them directly).
-  const int p = 8, r = 2;
+  const int p = 8;
   Engine engine(p, MachineParams::supermuc_like(), 6);
   engine.run([&](Comm& comm) {
     std::vector<std::uint64_t> data(64);

@@ -23,7 +23,9 @@ TEST(Workloads, DeterministicAndRightSize) {
     EXPECT_EQ(a, b) << workload_name(w);
     EXPECT_EQ(a.size(), 100u);
     const auto c = make_workload(w, 3, 8, 100, 7);
-    if (w != Workload::kAllEqual) EXPECT_NE(a, c);
+    if (w != Workload::kAllEqual) {
+      EXPECT_NE(a, c);
+    }
   }
 }
 

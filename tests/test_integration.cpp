@@ -118,7 +118,9 @@ TEST(Integration, SortsRecord100) {
   std::size_t total = 0;
   for (const auto& o : outputs) {
     if (o.empty()) continue;
-    if (prev) EXPECT_FALSE(o.front() < *prev);
+    if (prev) {
+      EXPECT_FALSE(o.front() < *prev);
+    }
     prev = &o.back();
     total += o.size();
   }

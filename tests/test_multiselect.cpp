@@ -62,8 +62,9 @@ void check_multiselect(int p, std::int64_t n_per_pe,
       }
     }
     EXPECT_EQ(sum, ranks[j]) << "rank index " << j;
-    if (has_left && has_right)
+    if (has_left && has_right) {
       EXPECT_LE(max_left, min_right) << "rank index " << j;
+    }
   }
 
   // Positions must be monotone across ranks on every PE.

@@ -122,8 +122,12 @@ TEST_P(PartitionBuckets, RespectsSplitterOrder) {
                  part.sizes[static_cast<std::size_t>(b)];
          ++i) {
       const auto v = part.elements[static_cast<std::size_t>(i)];
-      if (b > 0) EXPECT_GE(v, keys[static_cast<std::size_t>(b - 1)]);
-      if (b < k - 1) EXPECT_LE(v, keys[static_cast<std::size_t>(b)]);
+      if (b > 0) {
+        EXPECT_GE(v, keys[static_cast<std::size_t>(b - 1)]);
+      }
+      if (b < k - 1) {
+        EXPECT_LE(v, keys[static_cast<std::size_t>(b)]);
+      }
     }
   }
 }
