@@ -1,5 +1,5 @@
 // Shared helpers for the benchmark binaries: flag parsing and the
-// executed-vs-paper-scale convention (see DESIGN.md §1).
+// executed-vs-paper-scale convention (see docs/DESIGN.md §1).
 //
 // Every bench runs out of the box at a reduced, executable scale and prints
 // the same rows/series as the paper's table or figure; pass --paper-scale to

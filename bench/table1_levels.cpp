@@ -5,7 +5,8 @@
 // The rule reproduces the paper's multi-level rows exactly (last level 16 =
 // node-internal, first levels split p/16 into near-equal powers of two).
 // For k = 1 a single level must split all the way down, so r = p (the paper
-// lists the node size there, which cannot multiply to p; see DESIGN.md).
+// lists the node size there, which cannot multiply to p; see
+// docs/DESIGN.md §4).
 
 #include <cstdio>
 #include <string>

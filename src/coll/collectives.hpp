@@ -63,6 +63,8 @@ inline void barrier(Comm& comm) {
 // broadcast
 // ---------------------------------------------------------------------------
 
+/// Binomial-tree broadcast of `data` from `root`: Θ(α log p + βℓ log p)
+/// virtual time (each tree edge ships the whole vector).
 template <Sortable T>
 void bcast(Comm& comm, std::vector<T>& data, int root = 0) {
   const int p = comm.size();
@@ -88,6 +90,7 @@ void bcast(Comm& comm, std::vector<T>& data, int root = 0) {
   }
 }
 
+/// Broadcast of a single value from `root`.
 template <Sortable T>
 T bcast_one(Comm& comm, T value, int root = 0) {
   std::vector<T> v{value};
@@ -128,6 +131,8 @@ std::vector<T> reduce(Comm& comm, std::vector<T> local, Op op, int root = 0) {
   return local;  // meaningful only on root
 }
 
+/// Elementwise allreduce over equal-length vectors: binomial reduce to
+/// rank 0 followed by broadcast. `op` must be associative.
 template <Sortable T, typename Op>
 std::vector<T> allreduce(Comm& comm, std::vector<T> local, Op op) {
   auto result = reduce(comm, std::move(local), op, /*root=*/0);
@@ -135,11 +140,13 @@ std::vector<T> allreduce(Comm& comm, std::vector<T> local, Op op) {
   return result;
 }
 
+/// Elementwise vector sum across all PEs.
 inline std::vector<std::int64_t> allreduce_add(
     Comm& comm, std::vector<std::int64_t> local) {
   return allreduce(comm, std::move(local), std::plus<std::int64_t>{});
 }
 
+/// Allreduce of a single value with a generic associative `op`.
 template <Sortable T>
 T allreduce_one(Comm& comm, T value, auto op) {
   std::vector<T> v{value};
@@ -147,6 +154,7 @@ T allreduce_one(Comm& comm, T value, auto op) {
   return v[0];
 }
 
+/// Global sum of one int64 per PE.
 inline std::int64_t allreduce_add_one(Comm& comm, std::int64_t v) {
   return allreduce_one(comm, v, std::plus<std::int64_t>{});
 }
@@ -184,6 +192,7 @@ inline std::vector<std::int64_t> exscan_add(
   return excl;
 }
 
+/// Exclusive prefix sum of one int64 per PE (rank 0 gets 0).
 inline std::int64_t exscan_add_one(Comm& comm, std::int64_t v) {
   std::vector<std::int64_t> x{v};
   return exscan_add(comm, x)[0];

@@ -25,7 +25,7 @@
 //                     an allgather of O(p) descriptors per group plus an
 //                     identical local merge, replacing the Batcher-network
 //                     merge of [15]; the assignment produced is the same —
-//                     see DESIGN.md.)
+//                     see docs/DESIGN.md §2.)
 //  kAdvancedRandomized — Appendix A (Theorem 4): pieces larger than
 //                     s = a·n/(rp) are chopped into size-s fragments that
 //                     are *delegated* to pseudorandom PEs for enumeration;
@@ -55,12 +55,13 @@ namespace pmps::delivery {
 using net::Comm;
 
 enum class Algo {
-  kSimple,
-  kRandomized,
-  kDeterministic,
-  kAdvancedRandomized,
+  kSimple,              ///< prefix-sum placement (§4.3); adversarial worst case Ω(p) recvs
+  kRandomized,          ///< prefix sum over a pseudorandom sender order (§4.3, App. B)
+  kDeterministic,       ///< two-phase small/large assignment of §4.3.1, O(r) recvs guaranteed
+  kAdvancedRandomized,  ///< fragment-and-delegate scheme of Appendix A (Theorem 4)
 };
 
+/// Human-readable name for tables and test failure messages.
 inline const char* algo_name(Algo a) {
   switch (a) {
     case Algo::kSimple: return "simple";
@@ -132,6 +133,10 @@ std::vector<std::vector<T>> deliver(Comm& comm, std::span<const T> data,
 // simple & randomized
 // ---------------------------------------------------------------------------
 
+/// kSimple / kRandomized: one vector-valued prefix sum over the piece sizes
+/// (in PE order or in a Feistel-permuted sender order) places every element
+/// at a global position in its group's stream; chunk boundaries map
+/// positions to receivers. O(2r) sends per PE.
 template <typename T>
 std::vector<std::vector<T>> deliver_simple_impl(
     Comm& comm, std::span<const T> data,
@@ -197,6 +202,9 @@ struct FragmentAssign {
 
 }  // namespace detail
 
+/// kDeterministic (§4.3.1): small pieces (≤ n/2pr) are assigned whole,
+/// ≤ r per receiver; large pieces fill the residual capacities. Every
+/// receiver gets O(r) messages regardless of the piece-size distribution.
 template <typename T>
 std::vector<std::vector<T>> deliver_deterministic(
     Comm& comm, std::span<const T> data,
@@ -382,6 +390,10 @@ struct RangeReply {
 
 }  // namespace detail
 
+/// kAdvancedRandomized (Appendix A, Theorem 4): pieces above the fragment
+/// threshold are chopped and delegated to pseudorandomly chosen proxies so
+/// that whp no receiver sees more than O(r) messages, without the barrier
+/// structure of the deterministic scheme.
 template <typename T>
 std::vector<std::vector<T>> deliver_advanced(
     Comm& comm, std::span<const T> data,

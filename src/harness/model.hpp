@@ -5,7 +5,7 @@
 // paper's running-time bounds (Theorems 2 and 3 with explicit constants,
 // using the *same* MachineParams as the executed simulation) on the exact
 // grid of §7.2. The executed simulation validates the model at small scale;
-// the model extends the curves to the paper's scale. See DESIGN.md §1.
+// the model extends the curves to the paper's scale. See docs/DESIGN.md §1.
 
 #pragma once
 
