@@ -81,7 +81,7 @@ Outcome run_case(int p, int r, Algo algo, bool adversarial,
 
 int main(int argc, char** argv) {
   const auto flags = bench::Flags::parse(argc, argv);
-  const int p = flags.paper_scale ? 256 : 64;
+  const int p = flags.large_p ? 1024 : (flags.paper_scale ? 256 : 64);
   const int r = 8;
 
   std::printf(

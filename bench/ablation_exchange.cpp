@@ -45,7 +45,7 @@ Outcome run_case(int p, double density, std::int64_t words,
 
 int main(int argc, char** argv) {
   const auto flags = bench::Flags::parse(argc, argv);
-  const int p = flags.paper_scale ? 256 : 64;
+  const int p = flags.large_p ? 1024 : (flags.paper_scale ? 256 : 64);
 
   std::printf(
       "Exchange ablation (p=%d): direct vs 1-factor alltoallv over message "

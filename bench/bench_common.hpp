@@ -7,6 +7,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +20,7 @@ namespace pmps::bench {
 
 struct Flags {
   bool paper_scale = false;
+  bool large_p = false;  ///< append the fiber engine's p ∈ {1024, 4096} rows
   bool csv = false;
   int reps = 3;
   std::uint64_t seed = 1;
@@ -27,6 +30,8 @@ struct Flags {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--paper-scale") == 0) {
         f.paper_scale = true;
+      } else if (std::strcmp(argv[i], "--large-p") == 0) {
+        f.large_p = true;
       } else if (std::strcmp(argv[i], "--csv") == 0) {
         f.csv = true;
       } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
@@ -36,6 +41,7 @@ struct Flags {
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "flags: --paper-scale (analytic model on the paper's grid)\n"
+            "       --large-p (executed smoke rows at p = 1024, 4096)\n"
             "       --csv (CSV output)  --reps N  --seed S\n");
         std::exit(0);
       }
@@ -44,9 +50,15 @@ struct Flags {
   }
 };
 
-/// Executed-simulation grid (small enough for one host).
-inline const std::vector<int>& executed_ps() {
-  static const std::vector<int> ps{16, 64, 256};
+/// Executed-simulation grid (small enough for one host). With --large-p the
+/// fiber engine's paper-scale smoke rows are appended — infeasible under the
+/// legacy thread-per-PE backend, routine under the fiber scheduler.
+inline std::vector<int> executed_ps(const Flags& f) {
+  std::vector<int> ps{16, 64, 256};
+  if (f.large_p) {
+    ps.push_back(1024);
+    ps.push_back(4096);
+  }
   return ps;
 }
 inline const std::vector<std::int64_t>& executed_ns() {
@@ -54,14 +66,39 @@ inline const std::vector<std::int64_t>& executed_ns() {
   return ns;
 }
 
-/// The paper's §7.2 grid.
+/// Large-p rows are smoke tests, not sweeps: skip (p, n/p, levels)
+/// combinations that are infeasible to execute routinely on one host —
+/// oversized per-PE inputs, and single-level configurations whose Θ(p²)
+/// message count is the very pathology multi-level algorithms remove.
+inline bool feasible_row(int p, std::int64_t n_per_pe, int levels = 2) {
+  if (p < 1024) return true;
+  return n_per_pe <= 1000 && levels >= 2;
+}
+
+/// Lowest level count worth executing at this p (cf. feasible_row).
+inline int min_levels_for(int p) { return p >= 1024 ? 2 : 1; }
+
+/// Reps for one grid row: large-p smoke rows are capped at 2.
+inline int reps_for(const Flags& f, int p) {
+  return p >= 1024 ? std::min(f.reps, 2) : f.reps;
+}
+
+/// The paper's §7.2 grid (p up to 2^15), extended one step beyond the paper
+/// (2^17) now that the executed engine reaches paper scale itself.
 inline const std::vector<std::int64_t>& paper_ps() {
-  static const std::vector<std::int64_t> ps{512, 2048, 8192, 32768};
+  static const std::vector<std::int64_t> ps{512, 2048, 8192, 32768, 131072};
   return ps;
 }
 inline const std::vector<std::int64_t>& paper_ns() {
   static const std::vector<std::int64_t> ns{100000, 1000000, 10000000};
   return ns;
+}
+
+/// Host (not virtual) time in seconds, for the host-time microbenchmarks.
+inline double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace pmps::bench

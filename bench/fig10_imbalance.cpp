@@ -19,8 +19,11 @@ using namespace pmps;
 
 int main(int argc, char** argv) {
   const auto flags = bench::Flags::parse(argc, argv);
-  const int p = 64;
-  const std::int64_t n_per_pe = flags.paper_scale ? 100000 : 10000;
+  // --large-p: one smoke configuration at paper-scale p (1-level AMS-sort at
+  // p = 1024 is Θ(p²) messages, so keep n/p small and skip p = 4096).
+  const int p = flags.large_p ? 1024 : 64;
+  const std::int64_t n_per_pe =
+      flags.large_p ? 1000 : (flags.paper_scale ? 100000 : 10000);
 
   std::printf(
       "Figure 10: max output imbalance vs samples per process (a*b), "
@@ -28,7 +31,8 @@ int main(int argc, char** argv) {
       p, static_cast<long long>(n_per_pe));
 
   harness::Table table({"a*b", "b=1", "b=8", "b=16"});
-  for (int ab = 4; ab <= 1024; ab *= 2) {
+  const int ab_step = flags.large_p ? 8 : 2;  // coarser sweep for smoke rows
+  for (int ab = 4; ab <= 1024; ab *= ab_step) {
     std::vector<std::string> row{std::to_string(ab)};
     for (int b : {1, 8, 16}) {
       if (ab < b) {
@@ -36,7 +40,7 @@ int main(int argc, char** argv) {
         continue;
       }
       std::vector<double> imb;
-      for (int rep = 0; rep < flags.reps; ++rep) {
+      for (int rep = 0; rep < bench::reps_for(flags, p); ++rep) {
         harness::RunConfig cfg;
         cfg.p = p;
         cfg.n_per_pe = n_per_pe;

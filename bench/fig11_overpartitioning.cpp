@@ -18,8 +18,11 @@ using net::Phase;
 
 int main(int argc, char** argv) {
   const auto flags = bench::Flags::parse(argc, argv);
-  const int p = 64;
-  const std::int64_t n_per_pe = flags.paper_scale ? 100000 : 10000;
+  // --large-p: paper-scale smoke configuration (see fig10 for the n/p and
+  // sweep-granularity rationale).
+  const int p = flags.large_p ? 1024 : 64;
+  const std::int64_t n_per_pe =
+      flags.large_p ? 1000 : (flags.paper_scale ? 100000 : 10000);
 
   std::printf(
       "Figure 11: AMS-sort wall-time and sampling time vs samples per "
@@ -28,7 +31,8 @@ int main(int argc, char** argv) {
 
   harness::Table table({"a*b", "total a=1", "total a=8", "total a=16",
                         "sampling a=1", "sampling a=8", "sampling a=16"});
-  for (int ab = 4; ab <= 2048; ab *= 2) {
+  const int ab_step = flags.large_p ? 8 : 2;  // coarser sweep for smoke rows
+  for (int ab = 4; ab <= 2048; ab *= ab_step) {
     std::vector<std::string> total_cols, sampling_cols;
     for (int a : {1, 8, 16}) {
       if (ab < a) {
@@ -38,7 +42,7 @@ int main(int argc, char** argv) {
       }
       const int b = ab / a;
       std::vector<double> total, sampling;
-      for (int rep = 0; rep < flags.reps; ++rep) {
+      for (int rep = 0; rep < bench::reps_for(flags, p); ++rep) {
         harness::RunConfig cfg;
         cfg.p = p;
         cfg.n_per_pe = n_per_pe;

@@ -31,11 +31,12 @@ int main(int argc, char** argv) {
   machine.congestion_noise_frac = 0.4;
 
   for (std::int64_t n : bench::executed_ns()) {
-    for (int p : bench::executed_ps()) {
+    for (int p : bench::executed_ps(flags)) {
       const int kmax = p >= 64 ? 3 : 2;
-      for (int k = 1; k <= kmax; ++k) {
+      for (int k = bench::min_levels_for(p); k <= kmax; ++k) {
+        if (!bench::feasible_row(p, n, k)) continue;
         std::vector<double> times;
-        for (int rep = 0; rep < flags.reps; ++rep) {
+        for (int rep = 0; rep < bench::reps_for(flags, p); ++rep) {
           harness::RunConfig cfg;
           cfg.p = p;
           cfg.n_per_pe = n;

@@ -23,9 +23,9 @@ double best_time(harness::Algorithm algo, int p, std::int64_t n_per_pe,
                  const bench::Flags& flags) {
   double best = std::numeric_limits<double>::infinity();
   const int kmax = p >= 64 ? 3 : 2;
-  for (int k = 1; k <= kmax; ++k) {
+  for (int k = bench::min_levels_for(p); k <= kmax; ++k) {
     std::vector<double> times;
-    for (int rep = 0; rep < flags.reps; ++rep) {
+    for (int rep = 0; rep < bench::reps_for(flags, p); ++rep) {
       harness::RunConfig cfg;
       cfg.p = p;
       cfg.n_per_pe = n_per_pe;
@@ -89,9 +89,13 @@ int main(int argc, char** argv) {
   for (auto n : bench::executed_ns())
     header.push_back("n/p=" + std::to_string(n));
   harness::Table table(header);
-  for (int p : bench::executed_ps()) {
+  for (int p : bench::executed_ps(flags)) {
     std::vector<std::string> row{std::to_string(p)};
     for (std::int64_t n : bench::executed_ns()) {
+      if (!bench::feasible_row(p, n)) {
+        row.push_back("-");
+        continue;
+      }
       const double ams = best_time(harness::Algorithm::kAms, p, n, flags);
       const double rlm = best_time(harness::Algorithm::kRlm, p, n, flags);
       row.push_back(harness::format_double(rlm / ams, 2));

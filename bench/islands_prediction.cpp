@@ -32,7 +32,7 @@ namespace {
 double executed(const net::MachineParams& machine, int p, std::int64_t n,
                 std::vector<int> rs, const bench::Flags& flags) {
   std::vector<double> times;
-  for (int rep = 0; rep < flags.reps; ++rep) {
+  for (int rep = 0; rep < bench::reps_for(flags, p); ++rep) {
     harness::RunConfig cfg;
     cfg.p = p;
     cfg.n_per_pe = n;
@@ -103,7 +103,14 @@ int main(int argc, char** argv) {
       "n/p=2000\n\n");
   harness::Table table({"islands", "p", "2L config", "2L [s]", "3L config",
                         "3L [s]", "3L/2L"});
-  for (int islands : {1, 2, 4, 8, 16}) {
+  // --large-p extends the island sweep to paper-scale PE counts (64 islands
+  // of 16 PEs = 1024 PEs), where the island-aligned advantage is clearest.
+  std::vector<int> island_counts{1, 2, 4, 8, 16};
+  if (flags.large_p) {
+    island_counts.push_back(32);
+    island_counts.push_back(64);
+  }
+  for (int islands : island_counts) {
     const int p = islands * 16;
     const auto two = ams::level_group_counts(p, 2, machine.pes_per_node);
     const auto three = ams::level_group_counts_for_machine(p, machine);

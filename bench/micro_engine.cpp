@@ -1,0 +1,183 @@
+// Engine-throughput microbench: host-time runs/sec of an allgather+barrier
+// SPMD program under the fiber scheduler vs the legacy one-OS-thread-per-PE
+// backend, at p ∈ {64, 256, 1024, 4096}.
+//
+// This is the cost the fiber engine was built to remove: the thread backend
+// pays p thread creations plus condition-variable wakeup storms per run,
+// which capped every bench at p ≤ 256; the fiber engine runs the same
+// program on a fixed worker pool. The thread backend is only measured up to
+// --threads-max-p (default 256) — beyond that a single run is so slow that
+// measuring it is the benchmark equivalent of proving the point twice.
+//
+// Results land in BENCH_micro_engine.json. With --check the bench exits
+// non-zero unless (a) fibers reach ≥ 5× the thread backend's runs/sec at
+// p = 256 and (b) the p = 4096 fiber rows completed — the acceptance
+// criteria CI enforces.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "coll/collectives.hpp"
+#include "common/check.hpp"
+#include "harness/tables.hpp"
+#include "net/comm.hpp"
+#include "net/engine.hpp"
+#include "net/fiber.hpp"
+
+using namespace pmps;
+
+namespace {
+
+using bench::now_sec;
+
+/// The measured program: a recursive-doubling allgather (one scalar per PE,
+/// flat payloads — ⌈log2 p⌉ rounds of send+recv with doubling sizes) plus a
+/// dissemination barrier. That is 2⌈log2 p⌉ blocking recvs per PE — the
+/// communication/synchronisation pattern every level of the sorters leans
+/// on — while keeping the program's own work (allocs, copies) small enough
+/// that engine overhead, not collective bookkeeping, is what gets measured.
+void allgather_barrier_program(net::Comm& comm) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::uint64_t tag = comm.next_tag_block();
+  std::vector<std::int64_t> acc{rank};
+  for (int round = 0, step = 1; step < p; ++round, step <<= 1) {
+    const int partner = rank ^ step;
+    if (partner < p) {
+      comm.send<std::int64_t>(partner,
+                              tag + static_cast<std::uint64_t>(round),
+                              std::span<const std::int64_t>(acc));
+      auto theirs = comm.recv<std::int64_t>(
+          partner, tag + static_cast<std::uint64_t>(round));
+      acc.insert(acc.end(), theirs.begin(), theirs.end());
+    }
+  }
+  PMPS_CHECK(static_cast<int>(acc.size()) == p);
+  coll::barrier(comm);
+}
+
+struct Measurement {
+  int runs = 0;
+  double seconds = 0;
+  double runs_per_sec = 0;
+};
+
+/// Runs the program repeatedly on one engine until ~min_seconds of host time
+/// accumulated (at least once, at most max_runs).
+Measurement measure(net::EngineBackend backend, int p, double min_seconds,
+                    int max_runs, std::uint64_t seed) {
+  net::Engine engine(p, net::MachineParams::supermuc_like(), seed, backend);
+  engine.run(allgather_barrier_program);  // warm-up: spin up pool / stacks
+  Measurement m;
+  const double t0 = now_sec();
+  while (m.runs < max_runs) {
+    engine.run(allgather_barrier_program);
+    ++m.runs;
+    m.seconds = now_sec() - t0;
+    if (m.seconds >= min_seconds) break;
+  }
+  m.runs_per_sec = m.seconds > 0 ? m.runs / m.seconds : 0;
+  return m;
+}
+
+std::string fmt(double v) { return harness::format_double(v, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = bench::Flags::parse(argc, argv);
+  bool check = false;
+  int threads_max_p = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") check = true;
+    if (std::string(argv[i]) == "--threads-max-p" && i + 1 < argc)
+      threads_max_p = std::atoi(argv[i + 1]);
+  }
+
+  const std::vector<int> ps{64, 256, 1024, 4096};
+  const double min_seconds = 0.2;
+  const int max_runs = 200;
+
+  std::printf(
+      "Engine microbench: runs/sec of allgather+barrier, fiber scheduler vs "
+      "legacy thread-per-PE backend\n(thread backend measured up to p = %d; "
+      "fibers%s available)\n\n",
+      threads_max_p, net::fibers_supported() ? "" : " NOT");
+
+  harness::Table table(
+      {"p", "fibers [runs/s]", "threads [runs/s]", "speedup"});
+  struct Row {
+    int p;
+    double fiber_rps = 0, thread_rps = 0, speedup = 0;
+    bool thread_measured = false;
+  };
+  std::vector<Row> rows;
+
+  for (int p : ps) {
+    Row row{.p = p};
+    if (net::fibers_supported()) {
+      row.fiber_rps =
+          measure(net::EngineBackend::kFibers, p, min_seconds, max_runs,
+                  flags.seed)
+              .runs_per_sec;
+    }
+    if (p <= threads_max_p) {
+      row.thread_rps =
+          measure(net::EngineBackend::kThreads, p, min_seconds, max_runs,
+                  flags.seed)
+              .runs_per_sec;
+      row.thread_measured = true;
+      if (row.thread_rps > 0) row.speedup = row.fiber_rps / row.thread_rps;
+    }
+    rows.push_back(row);
+    table.add_row({std::to_string(p), fmt(row.fiber_rps),
+                   row.thread_measured ? fmt(row.thread_rps) : "skipped",
+                   row.thread_measured ? fmt(row.speedup) + "x" : "-"});
+  }
+  flags.csv ? table.print_csv() : table.print();
+
+  if (FILE* f = std::fopen("BENCH_micro_engine.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"micro_engine\",\n"
+                 "  \"program\": \"allgather+barrier\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f, "    {\"p\": %d, \"fiber_runs_per_sec\": %.2f, ", r.p,
+                   r.fiber_rps);
+      if (r.thread_measured) {
+        std::fprintf(f, "\"thread_runs_per_sec\": %.2f, \"speedup\": %.2f}",
+                     r.thread_rps, r.speedup);
+      } else {
+        std::fprintf(f, "\"thread_runs_per_sec\": null, \"speedup\": null}");
+      }
+      std::fprintf(f, "%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_micro_engine.json\n");
+  }
+
+  if (check) {
+    if (!net::fibers_supported()) {
+      std::printf("check: SKIP (no fiber backend on this platform)\n");
+      return 0;
+    }
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (r.p == 256 && r.thread_measured && r.speedup < 5.0) {
+        std::printf("check: FAIL — fiber speedup at p=256 is %.1fx (< 5x)\n",
+                    r.speedup);
+        ok = false;
+      }
+      if (r.p == 4096 && r.fiber_rps <= 0) {
+        std::printf("check: FAIL — p=4096 fiber runs did not complete\n");
+        ok = false;
+      }
+    }
+    if (ok) std::printf("check: OK (>=5x at p=256, p=4096 completes)\n");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -32,9 +32,9 @@ int max_levels_for(std::int64_t p) { return p >= 64 ? 3 : 2; }
 double best_executed(int p, std::int64_t n_per_pe, const bench::Flags& flags,
                      int* best_k) {
   double best = std::numeric_limits<double>::infinity();
-  for (int k = 1; k <= max_levels_for(p); ++k) {
+  for (int k = bench::min_levels_for(p); k <= max_levels_for(p); ++k) {
     std::vector<double> times;
-    for (int rep = 0; rep < flags.reps; ++rep) {
+    for (int rep = 0; rep < bench::reps_for(flags, p); ++rep) {
       harness::RunConfig cfg;
       cfg.p = p;
       cfg.n_per_pe = n_per_pe;
@@ -81,7 +81,10 @@ int main(int argc, char** argv) {
     std::printf(
         "Table 2 (paper scale, analytic model): AMS-sort wall-times [s], "
         "best level choice in ()\n\n");
-    harness::Table table({"n/p", "p=512", "p=2048", "p=8192", "p=32768"});
+    std::vector<std::string> pheader{"n/p"};
+    for (std::int64_t p : bench::paper_ps())
+      pheader.push_back("p=" + std::to_string(p));
+    harness::Table table(pheader);
     for (std::int64_t n : bench::paper_ns()) {
       std::vector<std::string> row{std::to_string(n)};
       for (std::int64_t p : bench::paper_ps()) {
@@ -103,12 +106,17 @@ int main(int argc, char** argv) {
       "Table 2 (executed simulation, reduced grid): AMS-sort median "
       "virtual wall-times [s] over %d reps, best level in ()\n\n",
       flags.reps);
+  const auto ps = bench::executed_ps(flags);
   std::vector<std::string> header{"n/p"};
-  for (int p : bench::executed_ps()) header.push_back("p=" + std::to_string(p));
+  for (int p : ps) header.push_back("p=" + std::to_string(p));
   harness::Table table(header);
   for (std::int64_t n : bench::executed_ns()) {
     std::vector<std::string> row{std::to_string(n)};
-    for (int p : bench::executed_ps()) {
+    for (int p : ps) {
+      if (!bench::feasible_row(p, n)) {
+        row.push_back("-");
+        continue;
+      }
       int k = 0;
       const double t = best_executed(p, n, flags, &k);
       row.push_back(harness::format_double(t, 5) + " (k=" + std::to_string(k) +

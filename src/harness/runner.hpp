@@ -52,6 +52,8 @@ struct RunConfig {
   Algorithm algorithm = Algorithm::kAms;
   net::MachineParams machine = net::MachineParams::supermuc_like();
   std::uint64_t seed = 1;
+  /// Execution backend (fibers by default; kThreads for differential runs).
+  net::EngineBackend backend = net::EngineBackend::kAuto;
 
   ams::AmsConfig ams;            ///< used when algorithm == kAms
   rlm::RlmConfig rlm;            ///< used when algorithm == kRlm
@@ -69,7 +71,7 @@ struct RunResult {
 
 /// Runs one experiment end to end on a fresh engine.
 inline RunResult run_sort_experiment(const RunConfig& cfg) {
-  net::Engine engine(cfg.p, cfg.machine, cfg.seed);
+  net::Engine engine(cfg.p, cfg.machine, cfg.seed, cfg.backend);
   RunResult result;
   std::mutex mu;
 

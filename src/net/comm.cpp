@@ -71,13 +71,13 @@ void Comm::send_bytes(int dest_rank, std::uint64_t tag,
   msg.src_pe = ctx_->pe;
   msg.arrival = ctx_->clock;  // sender-finish time in the single-ported model
   msg.payload.assign(payload.begin(), payload.end());
-  engine_->pe_context(dest_pe).mailbox.deposit(std::move(msg));
+  engine_->deposit_message(dest_pe, std::move(msg));
 }
 
 Message Comm::recv_bytes(int src_rank, std::uint64_t tag) {
   PMPS_CHECK(src_rank >= 0 && src_rank < size());
   const int src_pe = member(src_rank);
-  Message m = ctx_->mailbox.retrieve(comm_id_, tag, src_pe);
+  Message m = engine_->retrieve_message(*ctx_, MsgKey{comm_id_, tag, src_pe});
 
   const MachineParams& mp = machine();
   const LinkLevel lvl = mp.level_between(ctx_->pe, src_pe);

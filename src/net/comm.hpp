@@ -5,10 +5,12 @@
 // communicator construction is precomputation).
 //
 // Point-to-point semantics: send() is asynchronous (deposits into the
-// destination mailbox with a virtual arrival time); recv() blocks the OS
-// thread until the matching message exists and advances the virtual clock
-// to no earlier than the arrival time. Tags are allocated in lockstep via
-// next_tag_block(); higher-level collectives live in coll/collectives.hpp.
+// destination mailbox with a virtual arrival time); recv() blocks the PE —
+// parking its fiber under the fiber engine, or its OS thread under the
+// legacy backend — until the matching message exists, and advances the
+// virtual clock to no earlier than the arrival time. Tags are allocated in
+// lockstep via next_tag_block(); higher-level collectives live in
+// coll/collectives.hpp.
 
 #pragma once
 

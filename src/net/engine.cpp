@@ -2,15 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "common/check.hpp"
 #include "net/comm.hpp"
+#include "net/fiber.hpp"
 
 namespace pmps::net {
 
-Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed)
-    : num_pes_(num_pes), machine_(machine), seed_(seed) {
+namespace {
+
+EngineBackend resolve_backend(EngineBackend requested) {
+  if (requested == EngineBackend::kAuto) {
+    if (const char* env = std::getenv("PMPS_ENGINE")) {
+      if (std::strcmp(env, "threads") == 0) return EngineBackend::kThreads;
+      if (std::strcmp(env, "fibers") == 0) requested = EngineBackend::kFibers;
+    }
+  }
+  if (requested == EngineBackend::kThreads) return EngineBackend::kThreads;
+  // kAuto default and explicit kFibers: fibers where the platform has them.
+  return fibers_supported() ? EngineBackend::kFibers : EngineBackend::kThreads;
+}
+
+std::size_t fiber_stack_bytes() {
+  // 256 KiB of lazily committed stack per PE is generous for the SPMD
+  // programs here (heap-allocated data, shallow recursion); overridable for
+  // unusual workloads.
+  std::size_t kb = 256;
+  if (const char* env = std::getenv("PMPS_FIBER_STACK_KB")) {
+    const long v = std::atol(env);
+    if (v >= 64) kb = static_cast<std::size_t>(v);
+  }
+  return kb * 1024;
+}
+
+int fiber_workers(int num_pes) {
+  int w = static_cast<int>(std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("PMPS_FIBER_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) w = v;
+  }
+  return std::clamp(w, 1, num_pes);
+}
+
+}  // namespace
+
+Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed,
+               EngineBackend backend)
+    : num_pes_(num_pes),
+      machine_(machine),
+      seed_(seed),
+      backend_(resolve_backend(backend)) {
   PMPS_CHECK(num_pes >= 1);
   pes_.reserve(static_cast<std::size_t>(num_pes));
   for (int i = 0; i < num_pes; ++i) {
@@ -55,6 +99,18 @@ void Engine::run(const std::function<void(Comm&)>& program) {
     return;
   }
 
+  if (backend_ == EngineBackend::kFibers) {
+    if (!pool_) {
+      pool_ = std::make_unique<FiberPool>(fiber_workers(num_pes_),
+                                          fiber_stack_bytes());
+    }
+    pool_->run(num_pes_, [this, &program](int pe) {
+      Comm comm(this, pe);
+      program(comm);
+    });
+    return;
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_pes_));
   for (int i = 0; i < num_pes_; ++i) {
@@ -64,6 +120,29 @@ void Engine::run(const std::function<void(Comm&)>& program) {
     });
   }
   for (auto& t : threads) t.join();
+}
+
+void Engine::deposit_message(int dest_pe, Message&& m) {
+  PeContext& dst = *pes_[static_cast<std::size_t>(dest_pe)];
+  if (backend_ == EngineBackend::kFibers && pool_) {
+    dst.mailbox.deposit(std::move(m),
+                        [this, dest_pe] { pool_->wake(dest_pe); });
+  } else {
+    dst.mailbox.deposit(std::move(m));
+  }
+}
+
+Message Engine::retrieve_message(PeContext& ctx, const MsgKey& key) {
+  if (backend_ == EngineBackend::kFibers && FiberPool::in_fiber()) {
+    for (;;) {
+      auto m = ctx.mailbox.retrieve_or_block(
+          key, [] { FiberPool::prepare_block(); });
+      if (m) return std::move(*m);
+      FiberPool::block_current();
+    }
+  }
+  // Thread backend and single-PE inline runs.
+  return ctx.mailbox.retrieve(key);
 }
 
 RunReport Engine::report() const {

@@ -1,10 +1,25 @@
 // The SPMD engine: owns p simulated PEs and runs a program on all of them.
 //
-// Each PE is an OS thread with its own virtual clock, mailbox, RNG stream
-// and statistics. Algorithms are written once, SPMD style, against Comm
-// (see comm.hpp) — exactly like an MPI rank program. Virtual time follows
-// the single-ported α–β model of the paper's §2.1 (see machine.hpp);
-// it is fully deterministic for a given seed.
+// Algorithms are written once, SPMD style, against Comm (see comm.hpp) —
+// exactly like an MPI rank program. Virtual time follows the single-ported
+// α–β model of the paper's §2.1 (see machine.hpp); it is fully deterministic
+// for a given seed.
+//
+// Execution backends (selectable, bit-for-bit identical results):
+//   kFibers  — the default where supported: W ≈ hardware-thread workers run
+//              all p PEs as cooperatively scheduled stackful fibers
+//              (fiber.hpp). A PE blocking in a recv parks its fiber; the
+//              depositing PE re-enqueues it. No per-run thread creation, no
+//              wakeup broadcasts — this is what makes paper-scale PE counts
+//              (p ≥ 4096, §7.3) simulable on one host.
+//   kThreads — the seed backend: one OS thread per PE per run. Kept behind
+//              the same interface for differential testing; select with
+//              PMPS_ENGINE=threads (or explicitly in the constructor).
+//
+// Determinism does not depend on the backend: message matching is exact on
+// (comm id, tag, source PE) and every PE owns its RNG streams and virtual
+// clock, so same seed ⇒ same virtual times, same statistics, same output
+// under either scheduler.
 
 #pragma once
 
@@ -21,10 +36,18 @@
 namespace pmps::net {
 
 class Comm;
+class FiberPool;
+
+/// How Engine::run executes the p simulated PEs.
+enum class EngineBackend : int {
+  kAuto = 0,     ///< PMPS_ENGINE env var, else fibers where supported
+  kThreads = 1,  ///< legacy one-OS-thread-per-PE
+  kFibers = 2,   ///< cooperative fibers on a fixed worker pool
+};
 
 /// All mutable per-PE state. Owned by the engine, accessed only by the
-/// thread running that PE (mailbox deposits aside, which are internally
-/// synchronised).
+/// thread or fiber running that PE (mailbox deposits aside, which are
+/// internally synchronised).
 struct PeContext {
   int pe = -1;
   double clock = 0;  ///< virtual time (seconds)
@@ -67,26 +90,34 @@ class FreeModeGuard {
 
 class Engine {
  public:
-  Engine(int num_pes, MachineParams machine, std::uint64_t seed = 1);
+  Engine(int num_pes, MachineParams machine, std::uint64_t seed = 1,
+         EngineBackend backend = EngineBackend::kAuto);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Runs `program` on all PEs (one OS thread each) and blocks until every
-  /// PE finished. May be called repeatedly; clocks and stats reset between
-  /// runs.
+  /// Runs `program` on all PEs and blocks until every PE finished. May be
+  /// called repeatedly; clocks and stats reset between runs, and the fiber
+  /// pool (workers, stacks) is reused across runs.
   void run(const std::function<void(Comm&)>& program);
 
   int num_pes() const { return num_pes_; }
   const MachineParams& machine() const { return machine_; }
   std::uint64_t seed() const { return seed_; }
+  /// The backend actually in use (kAuto resolved at construction).
+  EngineBackend backend() const { return backend_; }
   /// Correlated congestion factor (≥ 1) for island/global links, drawn once
   /// per run when machine().congestion_noise_frac > 0.
   double run_congestion() const { return run_congestion_; }
 
   PeContext& pe_context(int pe) { return *pes_[pe]; }
   const PeContext& pe_context(int pe) const { return *pes_[pe]; }
+
+  /// Message delivery/pickup for Comm: routes through the backend's blocking
+  /// protocol (fiber park/re-enqueue, or targeted cv wait for threads).
+  void deposit_message(int dest_pe, Message&& m);
+  Message retrieve_message(PeContext& ctx, const MsgKey& key);
 
   /// Aggregated results of the last run().
   RunReport report() const;
@@ -95,9 +126,11 @@ class Engine {
   int num_pes_;
   MachineParams machine_;
   std::uint64_t seed_;
+  EngineBackend backend_;
   double run_congestion_ = 1.0;
   std::uint64_t run_counter_ = 0;
   std::vector<std::unique_ptr<PeContext>> pes_;
+  std::unique_ptr<FiberPool> pool_;  ///< lazily created (fiber backend, p > 1)
 };
 
 /// Convenience: build an engine, run `program`, return the report.

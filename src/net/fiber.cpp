@@ -1,0 +1,484 @@
+#include "net/fiber.hpp"
+
+#if PMPS_HAS_FIBERS
+
+#if defined(__ELF__) && (defined(__x86_64__) || defined(__aarch64__))
+#define PMPS_FIBER_ASM_CTX 1
+#else
+#define PMPS_FIBER_ASM_CTX 0
+#include <ucontext.h>
+#endif
+
+#include <unistd.h>
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+// ---------------------------------------------------------------------------
+// Context switching.
+//
+// The hot operation of the whole engine is parking/resuming a fiber, so on
+// the common ELF targets we use a hand-rolled switch: save the callee-saved
+// registers on the suspending stack, swap stack pointers, restore, return.
+// ~20 instructions and no kernel involvement. ucontext's swapcontext does
+// the same plus a sigprocmask *system call* per switch (it preserves the
+// signal mask), which multiplies into milliseconds per simulated run at
+// large p — measured ~4× worse end-to-end at p = 256. Other platforms fall
+// back to ucontext behind the same three primitives.
+// ---------------------------------------------------------------------------
+
+#if PMPS_FIBER_ASM_CTX
+
+extern "C" {
+/// Saves the callee-saved state on the current stack, stores the suspended
+/// stack pointer to *from_sp, switches to to_sp and resumes whatever was
+/// suspended (or freshly prepared) there.
+void pmps_ctx_switch(void** from_sp, void* to_sp);
+}
+
+#if defined(__x86_64__)
+// System V AMD64: rbx, rbp, r12–r15 are callee-saved; mxcsr control bits and
+// the x87 control word are preserved across calls by convention, so a
+// cooperative switch must carry them too (8 bytes). The entry thunk keeps
+// rsp ≡ 8 (mod 16) at function entry, exactly like a `call`.
+asm(R"(
+.text
+.globl pmps_ctx_switch
+.hidden pmps_ctx_switch
+.type pmps_ctx_switch, @function
+pmps_ctx_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw 4(%rsp)
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  ldmxcsr (%rsp)
+  fldcw 4(%rsp)
+  addq $8, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size pmps_ctx_switch, .-pmps_ctx_switch
+
+.globl pmps_ctx_thunk
+.hidden pmps_ctx_thunk
+.type pmps_ctx_thunk, @function
+pmps_ctx_thunk:
+  movq %r12, %rdi
+  subq $8, %rsp
+  callq *%rbx
+  hlt
+.size pmps_ctx_thunk, .-pmps_ctx_thunk
+)");
+
+extern "C" void pmps_ctx_thunk();
+
+namespace {
+
+/// Lays out a fresh context on [stack, stack+size) that enters fn(arg) when
+/// first switched to; returns the value to pass as to_sp.
+void* ctx_make(char* stack, std::size_t size, void (*fn)(void*), void* arg) {
+  // 16-align the top, then mirror pmps_ctx_switch's save area: fake frame
+  // slot, thunk as return address, six registers, fp control words.
+  auto top = reinterpret_cast<std::uintptr_t>(stack + size) & ~std::uintptr_t{15};
+  auto* sp = reinterpret_cast<std::uint64_t*>(top);
+  *--sp = 0;  // padding: keeps the thunk's entry rsp ≡ 8 (mod 16)
+  *--sp = reinterpret_cast<std::uint64_t>(&pmps_ctx_thunk);  // ret target
+  *--sp = 0;                                     // rbp
+  *--sp = reinterpret_cast<std::uint64_t>(fn);   // rbx
+  *--sp = reinterpret_cast<std::uint64_t>(arg);  // r12
+  *--sp = 0;                                     // r13
+  *--sp = 0;                                     // r14
+  *--sp = 0;                                     // r15
+  *--sp = 0x037f'0000'1f80ULL;  // fcw (hi half) | default mxcsr (lo half)
+  return sp;
+}
+
+}  // namespace
+
+#elif defined(__aarch64__)
+// AAPCS64: x19–x28, fp (x29), lr (x30) and d8–d15 are callee-saved. The
+// switch stores them in a 160-byte frame; ret resumes via the restored x30.
+asm(R"(
+.text
+.globl pmps_ctx_switch
+.hidden pmps_ctx_switch
+.type pmps_ctx_switch, @function
+pmps_ctx_switch:
+  sub sp, sp, #160
+  stp x19, x20, [sp, #0]
+  stp x21, x22, [sp, #16]
+  stp x23, x24, [sp, #32]
+  stp x25, x26, [sp, #48]
+  stp x27, x28, [sp, #64]
+  stp x29, x30, [sp, #80]
+  stp d8,  d9,  [sp, #96]
+  stp d10, d11, [sp, #112]
+  stp d12, d13, [sp, #128]
+  stp d14, d15, [sp, #144]
+  mov x2, sp
+  str x2, [x0]
+  mov sp, x1
+  ldp x19, x20, [sp, #0]
+  ldp x21, x22, [sp, #16]
+  ldp x23, x24, [sp, #32]
+  ldp x25, x26, [sp, #48]
+  ldp x27, x28, [sp, #64]
+  ldp x29, x30, [sp, #80]
+  ldp d8,  d9,  [sp, #96]
+  ldp d10, d11, [sp, #112]
+  ldp d12, d13, [sp, #128]
+  ldp d14, d15, [sp, #144]
+  add sp, sp, #160
+  ret
+.size pmps_ctx_switch, .-pmps_ctx_switch
+
+.globl pmps_ctx_thunk
+.hidden pmps_ctx_thunk
+.type pmps_ctx_thunk, @function
+pmps_ctx_thunk:
+  mov x0, x20
+  blr x19
+  brk #0
+.size pmps_ctx_thunk, .-pmps_ctx_thunk
+)");
+
+extern "C" void pmps_ctx_thunk();
+
+namespace {
+
+void* ctx_make(char* stack, std::size_t size, void (*fn)(void*), void* arg) {
+  auto top = reinterpret_cast<std::uintptr_t>(stack + size) & ~std::uintptr_t{15};
+  auto* sp = reinterpret_cast<std::uint64_t*>(top) - 20;  // 160-byte frame
+  for (int i = 0; i < 20; ++i) sp[i] = 0;
+  sp[0] = reinterpret_cast<std::uint64_t>(fn);               // x19
+  sp[1] = reinterpret_cast<std::uint64_t>(arg);              // x20
+  sp[11] = reinterpret_cast<std::uint64_t>(&pmps_ctx_thunk);  // x30 (lr)
+  return sp;
+}
+
+}  // namespace
+#endif  // architecture
+
+#endif  // PMPS_FIBER_ASM_CTX
+
+namespace pmps::net {
+
+bool fibers_supported() { return true; }
+
+namespace {
+
+// Fiber lifecycle states (see the protocol comment in fiber.hpp).
+enum FiberState : int {
+  kRunnable = 0,  ///< in the run queue
+  kRunning = 1,   ///< live on a worker
+  kBlocking = 2,  ///< announced intent to park, still on the worker's CPU
+  kBlocked = 3,   ///< parked, waiting for wake()
+  kReady = 4,     ///< wake() raced with kBlocking; worker must re-enqueue
+};
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+/// One fiber's execution context behind the asm/ucontext split: prepare() a
+/// fresh entry into fn(arg); resume() from a worker (returns when the fiber
+/// suspends or finishes); suspend() from inside the fiber.
+struct FiberContext {
+#if PMPS_FIBER_ASM_CTX
+  void* sp = nullptr;       ///< suspended fiber's stack pointer
+  void** resume_slot = nullptr;  ///< where the resuming worker parked itself
+
+  void prepare(char* stack, std::size_t size, void (*fn)(void*), void* arg) {
+    sp = ctx_make(stack, size, fn, arg);
+  }
+  void resume() {
+    void* worker_sp = nullptr;
+    resume_slot = &worker_sp;
+    pmps_ctx_switch(&worker_sp, sp);
+  }
+  void suspend() { pmps_ctx_switch(&sp, *resume_slot); }
+#else
+  ucontext_t ctx{};
+  ucontext_t* resume_ctx = nullptr;
+  void (*entry_fn)(void*) = nullptr;
+  void* entry_arg = nullptr;
+
+  void prepare(char* stack, std::size_t size, void (*fn)(void*), void* arg) {
+    entry_fn = fn;
+    entry_arg = arg;
+    PMPS_CHECK(getcontext(&ctx) == 0);
+    ctx.uc_stack.ss_sp = stack;
+    ctx.uc_stack.ss_size = size;
+    ctx.uc_link = nullptr;
+    const auto addr = reinterpret_cast<std::uintptr_t>(this);
+    // makecontext's variadic entry takes ints; the 64-bit pointer travels as
+    // two 32-bit halves. The function-pointer cast is the documented
+    // makecontext calling convention.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wcast-function-type"
+#endif
+    makecontext(&ctx, reinterpret_cast<void (*)()>(&FiberContext::trampoline),
+                2, static_cast<unsigned int>(addr >> 32),
+                static_cast<unsigned int>(addr & 0xffffffffu));
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+  }
+  static void trampoline(unsigned int hi, unsigned int lo) {
+    auto* self = reinterpret_cast<FiberContext*>(
+        (static_cast<std::uintptr_t>(hi) << 32) |
+        static_cast<std::uintptr_t>(lo));
+    self->entry_fn(self->entry_arg);
+  }
+  void resume() {
+    ucontext_t here;
+    resume_ctx = &here;
+    swapcontext(&here, &ctx);
+  }
+  void suspend() { swapcontext(&ctx, resume_ctx); }
+#endif
+};
+
+struct FiberPool::Fiber {
+  FiberContext ctx;
+  char* stack_base = nullptr;  ///< mmap base (guard page at the low end)
+  std::size_t stack_total = 0;
+  std::atomic<int> state{kRunnable};
+  bool finished = false;
+  int index = -1;
+  FiberPool* pool = nullptr;
+};
+
+struct FiberPool::Impl {
+  std::size_t stack_bytes;
+
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< workers: run queue non-empty or stop
+  std::condition_variable done_cv;  ///< run(): all fibers of this run done
+  std::deque<Fiber*> run_queue;
+  bool stop = false;
+  int run_n = 0;
+  int finished = 0;
+
+  const std::function<void(int)>* body = nullptr;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::vector<std::thread> workers;
+};
+
+namespace {
+thread_local FiberPool::Fiber* tl_current_fiber = nullptr;
+}
+
+FiberPool::FiberPool(int num_workers, std::size_t stack_bytes)
+    : num_workers_(num_workers), impl_(new Impl) {
+  PMPS_CHECK(num_workers >= 1);
+  const std::size_t ps = page_size();
+  impl_->stack_bytes = ((stack_bytes + ps - 1) / ps) * ps;
+  impl_->workers.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w)
+    impl_->workers.emplace_back([this] { worker_main(); });
+}
+
+FiberPool::~FiberPool() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  for (auto& f : impl_->fibers)
+    if (f->stack_base != nullptr) munmap(f->stack_base, f->stack_total);
+  delete impl_;
+}
+
+bool FiberPool::in_fiber() { return tl_current_fiber != nullptr; }
+
+void FiberPool::prepare_block() {
+  Fiber* f = tl_current_fiber;
+  PMPS_CHECK_MSG(f != nullptr, "prepare_block outside a fiber");
+  f->state.store(kBlocking, std::memory_order_release);
+}
+
+void FiberPool::block_current() {
+  Fiber* f = tl_current_fiber;
+  PMPS_CHECK_MSG(f != nullptr, "block_current outside a fiber");
+  // Switch back to the worker; it completes the kBlocking → kBlocked
+  // transition (or observes kReady and re-enqueues us immediately).
+  f->ctx.suspend();
+}
+
+void FiberPool::wake(int index) {
+  Fiber* f = impl_->fibers[static_cast<std::size_t>(index)].get();
+  for (;;) {
+    int s = f->state.load(std::memory_order_acquire);
+    if (s == kBlocking) {
+      // Still switching out: hand responsibility to its worker.
+      if (f->state.compare_exchange_weak(s, kReady,
+                                         std::memory_order_acq_rel))
+        return;
+    } else if (s == kBlocked) {
+      if (f->state.compare_exchange_weak(s, kRunnable,
+                                         std::memory_order_acq_rel)) {
+        {
+          std::lock_guard lock(impl_->mu);
+          impl_->run_queue.push_back(f);
+        }
+        impl_->work_cv.notify_one();
+        return;
+      }
+    } else {
+      // A waker only fires after the target registered a wait (state is
+      // kBlocking or kBlocked at that point), so this is unreachable; be
+      // defensive rather than deadlock on a protocol violation.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void FiberPool::trampoline(void* arg) {
+  auto* f = static_cast<Fiber*>(arg);
+  f->pool->fiber_main(*f);
+}
+
+void FiberPool::fiber_main(Fiber& f) {
+  try {
+    (*impl_->body)(f.index);
+  } catch (...) {
+    // Same contract as an exception escaping a std::thread: die loudly.
+    // Swallowing it instead would hang the run — SPMD peers blocked on this
+    // PE's sends would park forever and run() would never see all fibers
+    // finish.
+    std::fprintf(stderr,
+                 "pmps: exception escaped the program on simulated PE %d; "
+                 "terminating\n",
+                 f.index);
+    std::terminate();
+  }
+  f.finished = true;
+  // Back to the worker for good; fiber_main must never return (there is no
+  // caller frame underneath the entry thunk).
+  for (;;) f.ctx.suspend();
+}
+
+void FiberPool::worker_main() {
+  for (;;) {
+    Fiber* f = nullptr;
+    {
+      std::unique_lock lock(impl_->mu);
+      impl_->work_cv.wait(
+          lock, [this] { return impl_->stop || !impl_->run_queue.empty(); });
+      if (impl_->run_queue.empty()) return;  // stop requested, nothing queued
+      f = impl_->run_queue.front();
+      impl_->run_queue.pop_front();
+    }
+
+    f->state.store(kRunning, std::memory_order_relaxed);
+    tl_current_fiber = f;
+    f->ctx.resume();
+    tl_current_fiber = nullptr;
+
+    if (f->finished) {
+      bool all_done = false;
+      {
+        std::lock_guard lock(impl_->mu);
+        all_done = ++impl_->finished == impl_->run_n;
+      }
+      if (all_done) impl_->done_cv.notify_all();
+    } else {
+      int expected = kBlocking;
+      if (!f->state.compare_exchange_strong(expected, kBlocked,
+                                            std::memory_order_acq_rel)) {
+        // A wake() arrived while the fiber was switching out (kReady).
+        f->state.store(kRunnable, std::memory_order_relaxed);
+        {
+          std::lock_guard lock(impl_->mu);
+          impl_->run_queue.push_back(f);
+        }
+        impl_->work_cv.notify_one();
+      }
+    }
+  }
+}
+
+void FiberPool::run(int n, const std::function<void(int)>& body) {
+  PMPS_CHECK(n >= 1);
+  PMPS_CHECK_MSG(!in_fiber(), "FiberPool::run from inside a pool fiber");
+  const std::size_t ps = page_size();
+
+  // Grow the fiber set (stacks are kept and reused across runs).
+  while (impl_->fibers.size() < static_cast<std::size_t>(n)) {
+    auto f = std::make_unique<Fiber>();
+    f->index = static_cast<int>(impl_->fibers.size());
+    f->pool = this;
+    f->stack_total = impl_->stack_bytes + ps;  // + guard page
+    void* base = mmap(nullptr, f->stack_total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    PMPS_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+    f->stack_base = static_cast<char*>(base);
+    // Guard page at the low end — stacks grow downwards, so an overflow
+    // faults instead of corrupting the neighbouring fiber's stack.
+    PMPS_CHECK(mprotect(f->stack_base, ps, PROT_NONE) == 0);
+    impl_->fibers.push_back(std::move(f));
+  }
+
+  impl_->body = &body;
+  impl_->run_n = n;
+  impl_->finished = 0;
+
+  for (int i = 0; i < n; ++i) {
+    Fiber* f = impl_->fibers[static_cast<std::size_t>(i)].get();
+    f->finished = false;
+    f->state.store(kRunnable, std::memory_order_relaxed);
+    f->ctx.prepare(f->stack_base + ps, f->stack_total - ps,
+                   &FiberPool::trampoline, f);
+  }
+
+  {
+    std::lock_guard lock(impl_->mu);
+    for (int i = 0; i < n; ++i)
+      impl_->run_queue.push_back(impl_->fibers[static_cast<std::size_t>(i)].get());
+  }
+  impl_->work_cv.notify_all();
+
+  {
+    std::unique_lock lock(impl_->mu);
+    impl_->done_cv.wait(lock, [this] { return impl_->finished == impl_->run_n; });
+  }
+  impl_->body = nullptr;
+}
+
+}  // namespace pmps::net
+
+#else  // !PMPS_HAS_FIBERS
+
+namespace pmps::net {
+bool fibers_supported() { return false; }
+}  // namespace pmps::net
+
+#endif  // PMPS_HAS_FIBERS

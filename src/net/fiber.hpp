@@ -1,0 +1,115 @@
+// Stackful fibers and the cooperative scheduler behind the SPMD engine.
+//
+// A FiberPool owns W worker threads, each pulling PE fibers off a shared run
+// queue. A fiber that cannot make progress (its Mailbox::retrieve found no
+// matching message) parks itself instead of sleeping on a condition
+// variable; the PE that later deposits the matching message re-enqueues it.
+// This replaces the seed engine's one-OS-thread-per-PE model, whose
+// thread-creation and wakeup-storm costs capped every bench at p ≤ 256, and
+// lets a single host simulate paper-scale PE counts (p ≥ 4096, cf. §7.3).
+//
+// Context switching uses ucontext (POSIX); on platforms without it the
+// engine falls back to the legacy thread-per-PE backend behind the same
+// interface (see fibers_supported() and PMPS_ENGINE in engine.hpp).
+//
+// Blocking protocol (the part that makes wakeups race-free):
+//   1. The fiber, holding its mailbox lock, registers the key it waits for
+//      and calls prepare_block() → state = kBlocking.
+//   2. It releases the lock and calls block_current(), which switches back
+//      to the worker. The worker moves kBlocking → kBlocked (parked).
+//   3. A depositor that consumed the registration calls wake(): it either
+//      catches the fiber in kBlocking (sets kReady; the worker sees the
+//      failed kBlocking→kBlocked CAS and re-enqueues) or in kBlocked
+//      (CAS to kRunnable and enqueues it itself). No wakeup can be lost and
+//      a fiber is never enqueued while its stack is still live on a worker.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+// Fibers are available where we have a hand-rolled context switch (ELF
+// x86-64 / AArch64) or a usable <ucontext.h> (other unices — but not macOS,
+// whose SDK deprecated ucontext away; it gets the thread backend instead).
+#if (defined(__ELF__) && (defined(__x86_64__) || defined(__aarch64__))) || \
+    (defined(__unix__) && !defined(__APPLE__))
+#define PMPS_HAS_FIBERS 1
+#else
+#define PMPS_HAS_FIBERS 0
+#endif
+
+namespace pmps::net {
+
+/// True when the stackful-fiber backend is available on this platform.
+bool fibers_supported();
+
+#if PMPS_HAS_FIBERS
+
+class FiberPool {
+ public:
+  /// `num_workers` OS threads; each fiber gets `stack_bytes` of lazily
+  /// committed stack plus an inaccessible guard page.
+  FiberPool(int num_workers, std::size_t stack_bytes);
+  ~FiberPool();
+
+  FiberPool(const FiberPool&) = delete;
+  FiberPool& operator=(const FiberPool&) = delete;
+
+  /// Runs `body(i)` for i in [0, n) as n cooperatively scheduled fibers and
+  /// blocks until all of them finish. Fibers and stacks are reused across
+  /// calls. An exception escaping any body terminates the process (the
+  /// std::thread contract; peers blocked on the dead PE could never finish
+  /// anyway). Must not be called from inside one of this pool's fibers.
+  void run(int n, const std::function<void(int)>& body);
+
+  /// True when the calling code is executing on a pool fiber.
+  static bool in_fiber();
+
+  /// Publishes the current fiber's intent to block. Call while holding the
+  /// lock that a waker will later hold (the mailbox lock), so that any
+  /// wake() issued after the registration finds the fiber in kBlocking or
+  /// later — never in kRunning.
+  static void prepare_block();
+
+  /// Parks the current fiber (after prepare_block). Returns once a wake()
+  /// for this fiber has been issued.
+  static void block_current();
+
+  /// Makes fiber `index` (of the current run()) runnable again. Must pair
+  /// with a prepare_block()/block_current() on that fiber; called by the
+  /// message depositor after consuming the wait registration.
+  void wake(int index);
+
+  int num_workers() const { return num_workers_; }
+
+  struct Fiber;  ///< implementation detail (fiber.cpp); opaque to callers
+
+ private:
+  struct Impl;
+
+  void worker_main();
+  void fiber_main(Fiber& f);
+  static void trampoline(void* arg);
+
+  int num_workers_;
+  Impl* impl_;
+};
+
+#else  // !PMPS_HAS_FIBERS
+
+/// Stub so engine code compiles; never instantiated (fibers_supported()
+/// returns false and the engine selects the thread backend).
+class FiberPool {
+ public:
+  FiberPool(int, std::size_t) {}
+  void run(int, const std::function<void(int)>&) {}
+  static bool in_fiber() { return false; }
+  static void prepare_block() {}
+  static void block_current() {}
+  void wake(int) {}
+  int num_workers() const { return 0; }
+};
+
+#endif  // PMPS_HAS_FIBERS
+
+}  // namespace pmps::net

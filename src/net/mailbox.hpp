@@ -4,6 +4,18 @@
 // tag blocks in SPMD lockstep (every member of a communicator executes the
 // same sequence of operations), so matching is unambiguous and the whole
 // simulation is deterministic regardless of OS thread scheduling.
+//
+// Matching is a hash-map lookup keyed on exactly that triple — the seed
+// implementation's O(queue-length) deque scan made every retrieve linear in
+// the backlog, which dominated at large p. Wakeups are *targeted*: a mailbox
+// has exactly one consumer (its owning PE), which registers the key it is
+// waiting for; deposit() only wakes it when the deposited key matches that
+// registration, instead of notify_all-broadcasting on every deposit.
+//
+// Two blocking protocols share the same store: retrieve() blocks the calling
+// OS thread on a condition variable (legacy thread backend, single-PE inline
+// runs), while retrieve_or_block()/deposit(m, wake) let the fiber engine
+// park and re-enqueue PE fibers (see fiber.hpp and Engine::retrieve_message).
 
 #pragma once
 
@@ -11,7 +23,11 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <vector>
+
+#include "common/random.hpp"
 
 namespace pmps::net {
 
@@ -23,41 +39,102 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// Matching key for point-to-point messages.
+struct MsgKey {
+  std::uint64_t comm_id = 0;
+  std::uint64_t tag = 0;
+  int src_pe = -1;
+
+  friend bool operator==(const MsgKey&, const MsgKey&) = default;
+};
+
+struct MsgKeyHash {
+  std::size_t operator()(const MsgKey& k) const {
+    std::uint64_t h = mix64(k.comm_id ^ (k.tag * 0x9e3779b97f4a7c15ULL));
+    h ^= mix64(static_cast<std::uint64_t>(k.src_pe) + 0x51ed2701ULL);
+    return static_cast<std::size_t>(h);
+  }
+};
+
 class Mailbox {
  public:
-  void deposit(Message&& m) {
+  /// Deposits `m`. If the owning PE is registered waiting on exactly `m`'s
+  /// key, the registration is consumed and `wake()` is invoked — a targeted
+  /// wakeup of the one consumer, never a broadcast. `wake` runs outside the
+  /// mailbox lock; the waiter re-checks the store after resuming.
+  template <typename Wake>
+  void deposit(Message&& m, Wake&& wake) {
+    bool woke = false;
     {
       std::lock_guard lock(mu_);
-      queue_.push_back(std::move(m));
+      const MsgKey key{m.comm_id, m.tag, m.src_pe};
+      queues_[key].push_back(std::move(m));
+      ++size_;
+      if (waiting_ && waiting_key_ == key) {
+        waiting_ = false;
+        woke = true;
+      }
     }
-    cv_.notify_all();
+    if (woke) wake();
   }
 
-  /// Blocks until a message matching (comm_id, tag, src_pe) is present and
-  /// removes it from the queue.
-  Message retrieve(std::uint64_t comm_id, std::uint64_t tag, int src_pe) {
+  /// Thread-backend deposit: targeted condition-variable notification.
+  void deposit(Message&& m) {
+    deposit(std::move(m), [this] { cv_.notify_one(); });
+  }
+
+  /// Blocks the calling OS thread until a message matching `key` is present
+  /// and removes it (legacy thread backend and single-PE inline runs).
+  Message retrieve(const MsgKey& key) {
     std::unique_lock lock(mu_);
-    while (true) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->comm_id == comm_id && it->tag == tag && it->src_pe == src_pe) {
-          Message m = std::move(*it);
-          queue_.erase(it);
-          return m;
-        }
-      }
+    for (;;) {
+      if (auto m = pop_locked(key)) return std::move(*m);
+      waiting_ = true;
+      waiting_key_ = key;
       cv_.wait(lock);
     }
   }
 
+  /// Fiber-backend retrieve: pops a match if present; otherwise registers
+  /// the waiting key, invokes `on_block()` *under the mailbox lock* (the
+  /// fiber publishes its blocked state there, so a depositor that observes
+  /// the registration can never find it still running) and returns nullopt —
+  /// the caller must then park its fiber and retry once woken.
+  template <typename OnBlock>
+  std::optional<Message> retrieve_or_block(const MsgKey& key,
+                                           OnBlock&& on_block) {
+    std::lock_guard lock(mu_);
+    if (auto m = pop_locked(key)) return m;
+    waiting_ = true;
+    waiting_key_ = key;
+    on_block();
+    return std::nullopt;
+  }
+
   bool empty() const {
     std::lock_guard lock(mu_);
-    return queue_.empty();
+    return size_ == 0;
   }
 
  private:
+  std::optional<Message> pop_locked(const MsgKey& key) {
+    const auto it = queues_.find(key);
+    if (it == queues_.end()) return std::nullopt;
+    Message m = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queues_.erase(it);
+    --size_;
+    return m;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  /// Per-key FIFO queues: same-key messages (repeated sends on one tag from
+  /// one source) keep their deposit order.
+  std::unordered_map<MsgKey, std::deque<Message>, MsgKeyHash> queues_;
+  std::size_t size_ = 0;
+  bool waiting_ = false;
+  MsgKey waiting_key_{};
 };
 
 }  // namespace pmps::net

@@ -29,12 +29,14 @@ class LoserTree {
     k_ = static_cast<int>(runs.size());
     PMPS_CHECK(k_ >= 1);
     cap_ = static_cast<int>(next_pow2(static_cast<std::uint64_t>(k_)));
-    runs_.assign(runs.begin(), runs.end());
-    pos_.assign(static_cast<std::size_t>(k_), 0);
+    cur_.reserve(static_cast<std::size_t>(k_));
+    end_.reserve(static_cast<std::size_t>(k_));
     tree_.assign(static_cast<std::size_t>(cap_), -1);
     total_ = 0;
-    for (const auto& r : runs_) {
+    for (const auto& r : runs) {
       PMPS_ASSERT(std::is_sorted(r.begin(), r.end(), less_));
+      cur_.push_back(r.data());
+      end_.push_back(r.data() + r.size());
       total_ += static_cast<std::int64_t>(r.size());
     }
     build();
@@ -47,12 +49,30 @@ class LoserTree {
   T pop() {
     PMPS_ASSERT(!empty());
     const int w = winner_;
-    const T out = runs_[static_cast<std::size_t>(w)]
-                       [static_cast<std::size_t>(pos_[static_cast<std::size_t>(w)])];
-    ++pos_[static_cast<std::size_t>(w)];
+    const T out = *cur_[static_cast<std::size_t>(w)]++;
     ++produced_;
     replay(w);
     return out;
+  }
+
+  /// Pops up to out.size() smallest elements into `out` (in merge order) and
+  /// returns the number written. This is the bulk path multiway_merge uses:
+  /// the emptiness/bounds re-checks of the pop-one-at-a-time loop are hoisted
+  /// out — the loop count is fixed up front, each iteration only advances the
+  /// winner's cached cursor and replays its tree path, and exhausted runs
+  /// lose matches through the cursor-equals-end sentinel inside beats().
+  /// Stability (ties in run-index order) is identical to pop().
+  std::int64_t pop_bulk(std::span<T> out) {
+    const std::int64_t n = std::min(static_cast<std::int64_t>(out.size()),
+                                    total_ - produced_);
+    T* dst = out.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const int w = winner_;
+      dst[i] = *cur_[static_cast<std::size_t>(w)]++;
+      replay(w);
+    }
+    produced_ += n;
+    return n;
   }
 
   /// Index of the run the next pop() comes from (useful for stability
@@ -61,22 +81,20 @@ class LoserTree {
 
  private:
   bool exhausted(int run) const {
-    return pos_[static_cast<std::size_t>(run)] >=
-           static_cast<std::int64_t>(runs_[static_cast<std::size_t>(run)].size());
+    return cur_[static_cast<std::size_t>(run)] ==
+           end_[static_cast<std::size_t>(run)];
   }
 
   /// true if run a's current front beats (is less than) run b's. Exhausted
-  /// runs always lose; ties are broken by run index, making the merge stable
-  /// with respect to run order.
+  /// runs always lose (their cursor sits on the end sentinel); ties are
+  /// broken by run index, making the merge stable with respect to run order.
   bool beats(int a, int b) const {
     if (a < 0 || (a < k_ && exhausted(a))) return false;
     if (b < 0 || (b < k_ && exhausted(b))) return true;
     if (a >= k_) return false;
     if (b >= k_) return true;
-    const T& va = runs_[static_cast<std::size_t>(a)]
-                       [static_cast<std::size_t>(pos_[static_cast<std::size_t>(a)])];
-    const T& vb = runs_[static_cast<std::size_t>(b)]
-                       [static_cast<std::size_t>(pos_[static_cast<std::size_t>(b)])];
+    const T& va = *cur_[static_cast<std::size_t>(a)];
+    const T& vb = *cur_[static_cast<std::size_t>(b)];
     if (less_(va, vb)) return true;
     if (less_(vb, va)) return false;
     return a < b;
@@ -110,9 +128,9 @@ class LoserTree {
   Less less_;
   int k_ = 0;
   int cap_ = 0;
-  std::vector<std::span<const T>> runs_;
-  std::vector<std::int64_t> pos_;
-  std::vector<int> tree_;  ///< loser run index per internal node
+  std::vector<const T*> cur_;  ///< per-run front cursor…
+  std::vector<const T*> end_;  ///< …and its end sentinel (== cur_: exhausted)
+  std::vector<int> tree_;      ///< loser run index per internal node
   int winner_ = -1;
   std::int64_t total_ = 0;
   std::int64_t produced_ = 0;
@@ -131,9 +149,8 @@ std::vector<T> multiway_merge(std::span<const std::span<const T>> runs,
     return out;
   }
   LoserTree<T, Less> tree(runs, less);
-  std::vector<T> out;
-  out.reserve(static_cast<std::size_t>(tree.size()));
-  while (!tree.empty()) out.push_back(tree.pop());
+  std::vector<T> out(static_cast<std::size_t>(tree.size()));
+  tree.pop_bulk(std::span<T>(out.data(), out.size()));
   return out;
 }
 

@@ -51,12 +51,44 @@ class BucketClassifier {
     int i = 1;
     while (i < tree_size_)
       i = 2 * i + static_cast<int>(less_(tree_[static_cast<std::size_t>(i)], x));
-    int b = i - tree_size_;
+    return resolve_bucket(x, pe, index, i - tree_size_);
+  }
+
+  /// Elements classified together per strip by classify_strip.
+  static constexpr int kStrip = 16;
+
+  /// Classifies `count` ≤ kStrip consecutive elements whose tie-breaking
+  /// indices start at `base_index`, descending the splitter tree level by
+  /// level for the whole strip (super-scalar sample sort). One element's
+  /// descent is a serial chain of dependent loads; interleaving kStrip
+  /// independent descents lets those loads overlap, so the strip costs
+  /// roughly one chain instead of kStrip of them.
+  void classify_strip(const T* xs, int count, std::int32_t pe,
+                      std::int64_t base_index, std::int32_t* out) const {
+    int idx[kStrip];
+    for (int j = 0; j < count; ++j) idx[j] = 1;
+    for (int level = tree_size_; level > 1; level >>= 1) {
+      for (int j = 0; j < count; ++j) {
+        idx[j] = 2 * idx[j] +
+                 static_cast<int>(
+                     less_(tree_[static_cast<std::size_t>(idx[j])], xs[j]));
+      }
+    }
+    for (int j = 0; j < count; ++j) {
+      out[j] = static_cast<std::int32_t>(resolve_bucket(
+          xs[j], pe, base_index + j, idx[j] - tree_size_));
+    }
+  }
+
+ private:
+  /// Maps a finished descent (b = |{padded splitters < x}|) to the final
+  /// bucket: clamp the padding, then resolve elements equal to splitter keys
+  /// with the tagged comparison. (At most a handful of iterations unless
+  /// many splitters share a key, in which case the loop distributes the
+  /// duplicates across their buckets — Appendix D.)
+  int resolve_bucket(const T& x, std::int32_t pe, std::int64_t index,
+                     int b) const {
     if (b >= num_buckets_) b = num_buckets_ - 1;
-    // b = |{padded splitters < x}|; resolve elements equal to splitter keys
-    // with the tagged comparison. (At most a handful of iterations unless
-    // many splitters share a key, in which case the loop distributes the
-    // duplicates across their buckets.)
     const TaggedKey<T> tx{x, pe, index};
     while (b < num_buckets_ - 1 &&
            !less_(x, splitters_[static_cast<std::size_t>(b)].key) &&
@@ -67,7 +99,6 @@ class BucketClassifier {
     return b;
   }
 
- private:
   static bool tagged_less(const TaggedKey<T>& a, const TaggedKey<T>& b) {
     // keys already known equal here; compare tags
     if (a.pe != b.pe) return a.pe < b.pe;
@@ -118,12 +149,19 @@ PartitionResult<T> partition_into_buckets(
   out.sizes.assign(static_cast<std::size_t>(k), 0);
   out.offsets.assign(static_cast<std::size_t>(k), 0);
 
+  using Cls = BucketClassifier<T, Less>;
   std::vector<std::int32_t> bucket_of(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const int b = cls.classify(input[static_cast<std::size_t>(i)], my_pe, i);
-    bucket_of[static_cast<std::size_t>(i)] = b;
-    out.sizes[static_cast<std::size_t>(b)] += 1;
+  std::int64_t done = 0;
+  for (; done + Cls::kStrip <= n; done += Cls::kStrip) {
+    cls.classify_strip(input.data() + done, Cls::kStrip, my_pe, done,
+                       bucket_of.data() + done);
   }
+  if (done < n) {
+    cls.classify_strip(input.data() + done, static_cast<int>(n - done), my_pe,
+                       done, bucket_of.data() + done);
+  }
+  for (std::int64_t i = 0; i < n; ++i)
+    out.sizes[static_cast<std::size_t>(bucket_of[static_cast<std::size_t>(i)])] += 1;
   std::int64_t acc = 0;
   for (int b = 0; b < k; ++b) {
     out.offsets[static_cast<std::size_t>(b)] = acc;

@@ -3,12 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <vector>
 
+#include "ams/ams_sort.hpp"
 #include "coll/collectives.hpp"
+#include "harness/workloads.hpp"
 #include "net/comm.hpp"
 #include "net/engine.hpp"
+#include "net/fiber.hpp"
 #include "net/machine.hpp"
 
 namespace pmps::net {
@@ -189,6 +193,93 @@ TEST(Engine, ManyPes) {
     const auto v = coll::allreduce_add_one(comm, 1);
     EXPECT_EQ(v, 128);
   });
+}
+
+TEST(Engine, FiberSchedulerHandlesLargePeCounts) {
+  // The point of the fiber backend: PE counts far beyond what one OS thread
+  // per PE could sustain. p = 1024 with communication-heavy collectives.
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  Engine engine(1024, MachineParams::supermuc_like(), /*seed=*/3,
+                EngineBackend::kFibers);
+  ASSERT_EQ(engine.backend(), EngineBackend::kFibers);
+  engine.run([&](Comm& comm) {
+    const auto v = coll::allreduce_add_one(comm, 1);
+    EXPECT_EQ(v, 1024);
+    coll::barrier(comm);
+  });
+  EXPECT_GT(engine.report().wall_time, 0.0);
+}
+
+// Everything a run produces, observable per PE — used to assert that the
+// fiber scheduler and the legacy thread backend are bit-for-bit identical.
+struct RunObservation {
+  std::vector<double> clocks;
+  std::vector<std::array<double, kNumPhases>> phase_times;
+  std::vector<std::int64_t> messages_sent;
+  std::vector<std::vector<std::uint64_t>> outputs;
+
+  friend bool operator==(const RunObservation&, const RunObservation&) =
+      default;
+};
+
+RunObservation run_ams_under(EngineBackend backend, int p,
+                             std::int64_t n_per_pe, std::uint64_t seed) {
+  Engine engine(p, MachineParams::supermuc_like(), seed, backend);
+  RunObservation obs;
+  obs.outputs.resize(static_cast<std::size_t>(p));
+  engine.run([&](Comm& comm) {
+    auto data = harness::make_workload(harness::Workload::kUniform,
+                                       comm.rank(), p, n_per_pe, seed);
+    ams::AmsConfig cfg;
+    cfg.levels = 2;
+    cfg.seed = seed;
+    ams::ams_sort(comm, data, cfg);
+    obs.outputs[static_cast<std::size_t>(comm.rank())] = std::move(data);
+  });
+  for (int i = 0; i < p; ++i) {
+    const PeContext& ctx = engine.pe_context(i);
+    obs.clocks.push_back(ctx.clock);
+    obs.phase_times.push_back(ctx.stats.phase_time);
+    obs.messages_sent.push_back(ctx.stats.messages_sent);
+  }
+  return obs;
+}
+
+TEST(Engine, FiberAndThreadBackendsBitIdentical) {
+  // Same seeded AMS-sort config under both schedulers: identical virtual
+  // times, identical per-phase accounting, identical sorted output on every
+  // PE. Determinism must not depend on how PEs are scheduled.
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  for (const std::uint64_t seed : {1ull, 42ull}) {
+    const auto fibers =
+        run_ams_under(EngineBackend::kFibers, /*p=*/32, /*n_per_pe=*/300, seed);
+    const auto threads = run_ams_under(EngineBackend::kThreads, 32, 300, seed);
+    EXPECT_TRUE(fibers == threads) << "backends diverged for seed " << seed;
+  }
+}
+
+TEST(Engine, ReportIdenticalAcrossBackendsWithNoise) {
+  // Noise streams are per-PE RNGs, so even noisy configs must agree.
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  auto noisy = MachineParams::supermuc_like();
+  noisy.comm_noise_frac = 0.3;
+  noisy.congestion_noise_frac = 0.2;
+  auto run_under = [&](EngineBackend backend) {
+    Engine engine(24, noisy, /*seed=*/11, backend);
+    engine.run([&](Comm& comm) {
+      std::vector<std::int64_t> v{comm.rank() + 1};
+      v = coll::allreduce_add(comm, std::move(v));
+      coll::barrier(comm);
+    });
+    return engine.report();
+  };
+  const RunReport f = run_under(EngineBackend::kFibers);
+  const RunReport t = run_under(EngineBackend::kThreads);
+  EXPECT_EQ(f.wall_time, t.wall_time);
+  EXPECT_EQ(f.phase_max, t.phase_max);
+  EXPECT_EQ(f.max_messages_sent, t.max_messages_sent);
+  EXPECT_EQ(f.max_messages_received, t.max_messages_received);
+  EXPECT_EQ(f.total_bytes_sent, t.total_bytes_sent);
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Tests for the hash-matched mailbox: out-of-order and bulk deposits,
+// same-key FIFO order, targeted (non-broadcast) wakeup, and the fiber-side
+// register/park protocol.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/mailbox.hpp"
+
+namespace pmps::net {
+namespace {
+
+Message make_msg(std::uint64_t comm_id, std::uint64_t tag, int src,
+                 std::uint64_t value = 0) {
+  Message m;
+  m.comm_id = comm_id;
+  m.tag = tag;
+  m.src_pe = src;
+  m.payload.resize(sizeof(value));
+  std::memcpy(m.payload.data(), &value, sizeof(value));
+  return m;
+}
+
+std::uint64_t value_of(const Message& m) {
+  std::uint64_t v = 0;
+  EXPECT_EQ(m.payload.size(), sizeof(v));
+  std::memcpy(&v, m.payload.data(), sizeof(v));
+  return v;
+}
+
+TEST(Mailbox, RetrievesOutOfDepositOrder) {
+  Mailbox mb;
+  // Deposit in an order unrelated to the retrieval order.
+  mb.deposit(make_msg(1, 30, 2, 300));
+  mb.deposit(make_msg(1, 10, 0, 100));
+  mb.deposit(make_msg(2, 10, 0, 999));  // same tag/src, different comm
+  mb.deposit(make_msg(1, 20, 1, 200));
+
+  EXPECT_EQ(value_of(mb.retrieve(MsgKey{1, 10, 0})), 100u);
+  EXPECT_EQ(value_of(mb.retrieve(MsgKey{2, 10, 0})), 999u);
+  EXPECT_EQ(value_of(mb.retrieve(MsgKey{1, 30, 2})), 300u);
+  EXPECT_EQ(value_of(mb.retrieve(MsgKey{1, 20, 1})), 200u);
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(Mailbox, BulkDepositsThenRetrieveAll) {
+  // A bulk backlog (every PE deposits before the owner drains anything —
+  // the situation the old linear scan degraded on) must match exactly.
+  Mailbox mb;
+  const int kSenders = 64, kTags = 8;
+  for (int src = kSenders - 1; src >= 0; --src)
+    for (int t = kTags - 1; t >= 0; --t)
+      mb.deposit(make_msg(7, static_cast<std::uint64_t>(t), src,
+                          static_cast<std::uint64_t>(src * 1000 + t)));
+  EXPECT_FALSE(mb.empty());
+  for (int src = 0; src < kSenders; ++src)
+    for (int t = 0; t < kTags; ++t)
+      EXPECT_EQ(value_of(mb.retrieve(MsgKey{7, static_cast<std::uint64_t>(t),
+                                            src})),
+                static_cast<std::uint64_t>(src * 1000 + t));
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(Mailbox, SameKeyMessagesKeepFifoOrder) {
+  Mailbox mb;
+  for (std::uint64_t v = 0; v < 5; ++v) mb.deposit(make_msg(1, 4, 2, v));
+  for (std::uint64_t v = 0; v < 5; ++v)
+    EXPECT_EQ(value_of(mb.retrieve(MsgKey{1, 4, 2})), v);
+}
+
+TEST(Mailbox, BlockedRetrieveWokenByMatchingDepositOnly) {
+  Mailbox mb;
+  std::uint64_t got = 0;
+  std::thread consumer([&] { got = value_of(mb.retrieve(MsgKey{1, 2, 3})); });
+  // Non-matching deposits must not satisfy the retrieve.
+  mb.deposit(make_msg(1, 2, 4, 111));
+  mb.deposit(make_msg(1, 9, 3, 222));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mb.deposit(make_msg(1, 2, 3, 333));
+  consumer.join();
+  EXPECT_EQ(got, 333u);
+  EXPECT_FALSE(mb.empty());  // the two non-matching messages remain
+}
+
+TEST(Mailbox, RetrieveOrBlockProtocol) {
+  Mailbox mb;
+  // Miss: registers the key and reports the block via the callback.
+  bool on_block_called = false;
+  auto miss = mb.retrieve_or_block(MsgKey{1, 2, 3},
+                                   [&] { on_block_called = true; });
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_TRUE(on_block_called);
+
+  // The matching deposit consumes the registration exactly once.
+  int wakes = 0;
+  mb.deposit(make_msg(1, 2, 3, 42), [&] { ++wakes; });
+  EXPECT_EQ(wakes, 1);
+  mb.deposit(make_msg(1, 2, 3, 43), [&] { ++wakes; });
+  EXPECT_EQ(wakes, 1);  // no waiter registered any more
+
+  // Hit: returns the message without touching the callback.
+  auto hit = mb.retrieve_or_block(MsgKey{1, 2, 3}, [&] { FAIL(); });
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(value_of(*hit), 42u);
+}
+
+TEST(Mailbox, NonMatchingDepositDoesNotWakeRegisteredWaiter) {
+  Mailbox mb;
+  (void)mb.retrieve_or_block(MsgKey{1, 2, 3}, [] {});
+  int wakes = 0;
+  mb.deposit(make_msg(9, 9, 9, 1), [&] { ++wakes; });  // different key
+  EXPECT_EQ(wakes, 0);
+  mb.deposit(make_msg(1, 2, 3, 2), [&] { ++wakes; });  // the registered key
+  EXPECT_EQ(wakes, 1);
+}
+
+}  // namespace
+}  // namespace pmps::net

@@ -75,6 +75,75 @@ TEST(MultiwayMerge, StableAcrossRunsForTies) {
   EXPECT_EQ(order, (std::vector<int>{0, 0, 1, 2, 2}));
 }
 
+TEST(MultiwayMerge, BulkPopMatchesPopByOne) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto runs = random_runs(9, 300, seed);
+    std::vector<std::span<const std::uint64_t>> spans;
+    for (auto& r : runs) spans.emplace_back(r.data(), r.size());
+    const std::span<const std::span<const std::uint64_t>> rs(spans.data(),
+                                                             spans.size());
+    LoserTree<std::uint64_t> one(rs);
+    LoserTree<std::uint64_t> bulk(rs);
+    std::vector<std::uint64_t> expect;
+    while (!one.empty()) expect.push_back(one.pop());
+    // Odd-sized chunks so bulk boundaries don't align with run boundaries.
+    std::vector<std::uint64_t> got(expect.size());
+    std::size_t at = 0;
+    while (at < got.size()) {
+      const auto chunk = std::min<std::size_t>(7, got.size() - at);
+      EXPECT_EQ(bulk.pop_bulk(std::span<std::uint64_t>(got.data() + at, chunk)),
+                static_cast<std::int64_t>(chunk));
+      at += chunk;
+    }
+    EXPECT_EQ(bulk.pop_bulk(std::span<std::uint64_t>(got.data(), 1)), 0);
+    EXPECT_TRUE(bulk.empty());
+    EXPECT_EQ(got, expect) << "seed=" << seed;
+  }
+}
+
+TEST(MultiwayMerge, BulkPopAllEqualKeysIsStable) {
+  // All keys identical: bulk popping must emit runs in run-index order
+  // (stability), exercising the tie-break path of every replay.
+  using KV = std::pair<std::uint64_t, int>;  // (key, origin run)
+  struct KeyLess {
+    bool operator()(const KV& a, const KV& b) const {
+      return a.first < b.first;
+    }
+  };
+  std::vector<std::vector<KV>> runs;
+  for (int r = 0; r < 6; ++r)
+    runs.emplace_back(static_cast<std::size_t>(10 + r), KV{42, r});
+  std::vector<std::span<const KV>> spans;
+  for (auto& r : runs) spans.emplace_back(r.data(), r.size());
+  LoserTree<KV, KeyLess> tree(
+      std::span<const std::span<const KV>>(spans.data(), spans.size()));
+  std::vector<KV> out(static_cast<std::size_t>(tree.size()));
+  EXPECT_EQ(tree.pop_bulk(std::span<KV>(out.data(), out.size())),
+            static_cast<std::int64_t>(out.size()));
+  std::size_t at = 0;
+  for (int r = 0; r < 6; ++r)
+    for (std::size_t i = 0; i < runs[static_cast<std::size_t>(r)].size(); ++i)
+      EXPECT_EQ(out[at++].second, r) << "position " << at - 1;
+}
+
+TEST(MultiwayMerge, BulkPopManyEmptyRuns) {
+  // 64 runs, only three of them non-empty — exhausted-run sentinels dominate
+  // every tournament.
+  std::vector<std::vector<std::uint64_t>> runs(64);
+  runs[5] = {1, 4, 9};
+  runs[20] = {2, 2, 7};
+  runs[63] = {0, 8};
+  std::vector<std::span<const std::uint64_t>> spans;
+  for (auto& r : runs) spans.emplace_back(r.data(), r.size());
+  LoserTree<std::uint64_t> tree(
+      std::span<const std::span<const std::uint64_t>>(spans.data(),
+                                                      spans.size()));
+  std::vector<std::uint64_t> out(8);
+  EXPECT_EQ(tree.pop_bulk(std::span<std::uint64_t>(out.data(), out.size())), 8);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 1, 2, 2, 4, 7, 8, 9}));
+  EXPECT_TRUE(tree.empty());
+}
+
 TEST(MultiwayMerge, LargeMerge) {
   auto runs = random_runs(31, 5000, 99);
   auto merged = multiway_merge(runs);
@@ -169,6 +238,37 @@ TEST(PartitionBuckets, AllEqualKeysSplitByTags) {
   // Elements with index < 25 are tagged-less than splitter (7,0,25) → bucket
   // 0, etc.: exact quarters.
   EXPECT_EQ(part.sizes, (std::vector<std::int64_t>{25, 25, 25, 25}));
+}
+
+TEST(PartitionBuckets, StripClassificationMatchesScalar) {
+  // The strip descent must agree with the per-element descent everywhere,
+  // including duplicate keys that hit the Appendix-D tie-break loop and a
+  // final partial strip.
+  using Cls = BucketClassifier<std::uint64_t>;
+  for (int k : {2, 3, 16, 33, 100}) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(k) * 31 + 1);
+    std::vector<std::uint64_t> keys;
+    for (int i = 1; i < k; ++i) keys.push_back(rng.bounded(64));  // many dups
+    std::sort(keys.begin(), keys.end());
+    const auto cls = Cls(make_splitters(keys));
+    std::vector<std::uint64_t> input(Cls::kStrip * 5 + 3);
+    for (auto& v : input) v = rng.bounded(64);
+
+    std::vector<std::int32_t> strip(input.size());
+    std::int64_t done = 0;
+    const auto n = static_cast<std::int64_t>(input.size());
+    for (; done < n; done += Cls::kStrip) {
+      const int count = static_cast<int>(std::min<std::int64_t>(
+          Cls::kStrip, n - done));
+      cls.classify_strip(input.data() + done, count, /*pe=*/3, done,
+                         strip.data() + done);
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(strip[static_cast<std::size_t>(i)],
+                cls.classify(input[static_cast<std::size_t>(i)], 3, i))
+          << "k=" << k << " i=" << i;
+    }
+  }
 }
 
 TEST(PartitionBuckets, SingleSplitter) {
