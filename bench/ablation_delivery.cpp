@@ -70,8 +70,7 @@ Outcome run_case(int p, int r, Algo algo, bool adversarial,
         comm, std::span<const std::uint64_t>(data.data(), data.size()), sizes,
         algo, seed);
     std::lock_guard lock(mu);
-    out.max_runs =
-        std::max(out.max_runs, static_cast<std::int64_t>(runs.size()));
+    out.max_runs = std::max(out.max_runs, static_cast<std::int64_t>(runs.parts()));
   });
   out.time = engine.report().wall_time;
   return out;

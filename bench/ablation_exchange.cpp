@@ -27,16 +27,18 @@ Outcome run_case(int p, double density, std::int64_t words,
   net::Engine engine(p, net::MachineParams::supermuc_like(), seed);
   engine.run([&](net::Comm& comm) {
     Xoshiro256 rng(seed, static_cast<std::uint64_t>(comm.rank()));
-    std::vector<std::vector<std::uint64_t>> send(
-        static_cast<std::size_t>(p));
+    std::vector<std::uint64_t> sendbuf;
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(p), 0);
     for (int i = 0; i < p; ++i) {
       if (rng.uniform() < density) {
-        send[static_cast<std::size_t>(i)].assign(
-            static_cast<std::size_t>(words),
-            static_cast<std::uint64_t>(comm.rank()));
+        counts[static_cast<std::size_t>(i)] = words;
+        sendbuf.insert(sendbuf.end(), static_cast<std::size_t>(words),
+                       static_cast<std::uint64_t>(comm.rank()));
       }
     }
-    (void)coll::alltoallv(comm, std::move(send), sched);
+    (void)coll::alltoallv(
+        comm, std::span<const std::uint64_t>(sendbuf.data(), sendbuf.size()),
+        std::span<const std::int64_t>(counts.data(), counts.size()), sched);
   });
   return {engine.report().wall_time, engine.report().max_messages_sent};
 }

@@ -209,11 +209,7 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   auto runs = delivery::deliver(
       comm, std::span<const T>(part.elements.data(), part.elements.size()),
       piece_sizes, cfg.delivery, cfg.seed + level);
-  std::size_t received = 0;
-  for (const auto& run : runs) received += run.size();
-  data.clear();
-  data.reserve(received);
-  for (auto& run : runs) data.insert(data.end(), run.begin(), run.end());
+  data = std::move(runs).take_flat();  // received runs, concatenated
   comm.set_phase(Phase::kOther);
 
   // --- recurse --------------------------------------------------------------

@@ -81,12 +81,13 @@ void gv_level(net::Comm& comm, std::vector<T>& data, const GvConfig& cfg,
     return a.index < b.index;
   };
   // Gather the whole sample on rank 0, sort sequentially, pick splitters.
+  // The gathered FlatParts buffer IS the concatenated sample — no per-rank
+  // copy to flatten it.
   auto parts = coll::gatherv(
       comm, std::span<const TaggedKey<T>>(sample.data(), sample.size()), 0);
   std::vector<TaggedKey<T>> splitters;
   if (comm.rank() == 0) {
-    std::vector<TaggedKey<T>> all;
-    for (auto& v : parts) all.insert(all.end(), v.begin(), v.end());
+    std::vector<TaggedKey<T>> all = std::move(parts).take_flat();
     std::sort(all.begin(), all.end(), tless);
     comm.charge(machine.sort_cost(static_cast<std::int64_t>(all.size())));
     const auto S = static_cast<std::int64_t>(all.size());
@@ -110,11 +111,7 @@ void gv_level(net::Comm& comm, std::vector<T>& data, const GvConfig& cfg,
   auto runs = delivery::deliver(
       comm, std::span<const T>(part.elements.data(), part.elements.size()),
       part.sizes, delivery::Algo::kSimple, cfg.seed + level);
-  std::size_t total = 0;
-  for (const auto& rn : runs) total += rn.size();
-  data.clear();
-  data.reserve(total);
-  for (auto& rn : runs) data.insert(data.end(), rn.begin(), rn.end());
+  data = std::move(runs).take_flat();
   comm.set_phase(Phase::kOther);
 
   net::Comm sub = comm.split_consecutive(r);

@@ -60,22 +60,16 @@ bool tagged_less(const TaggedKey<T>& a, const TaggedKey<T>& b, Less less) {
   return a.index < b.index;
 }
 
-/// Dense exchange of per-destination pieces (contiguous in `elements` with
-/// `sizes`/`offsets`), returning the received runs.
+/// Dense exchange of per-destination pieces (already contiguous in
+/// `elements` in destination order — exactly the alltoallv sendbuf shape),
+/// returning the received runs. No per-destination staging copies.
 template <typename T>
-std::vector<std::vector<T>> dense_exchange(
-    Comm& comm, const std::vector<T>& elements,
-    const std::vector<std::int64_t>& sizes,
-    const std::vector<std::int64_t>& offsets, coll::Schedule sched) {
-  const int p = comm.size();
-  std::vector<std::vector<T>> send(static_cast<std::size_t>(p));
-  for (int i = 0; i < p; ++i) {
-    const auto off = static_cast<std::size_t>(offsets[static_cast<std::size_t>(i)]);
-    const auto sz = static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]);
-    send[static_cast<std::size_t>(i)].assign(elements.begin() + off,
-                                             elements.begin() + off + sz);
-  }
-  return coll::alltoallv(comm, std::move(send), sched);
+coll::FlatParts<T> dense_exchange(Comm& comm, const std::vector<T>& elements,
+                                  const std::vector<std::int64_t>& sizes,
+                                  coll::Schedule sched) {
+  return coll::alltoallv(
+      comm, std::span<const T>(elements.data(), elements.size()),
+      std::span<const std::int64_t>(sizes.data(), sizes.size()), sched);
 }
 
 }  // namespace detail
@@ -133,16 +127,12 @@ void sample_sort_1l(Comm& comm, std::vector<T>& data,
   coll::barrier(comm);
   comm.set_phase(Phase::kDataDelivery);
   auto runs = detail::dense_exchange(comm, part.elements, part.sizes,
-                                     part.offsets, cfg.exchange);
+                                     cfg.exchange);
 
   // --- local sort ------------------------------------------------------------
   coll::barrier(comm);
   comm.set_phase(Phase::kLocalSort);
-  std::size_t total = 0;
-  for (const auto& rn : runs) total += rn.size();
-  data.clear();
-  data.reserve(total);
-  for (auto& rn : runs) data.insert(data.end(), rn.begin(), rn.end());
+  data = std::move(runs).take_flat();
   seq::local_sort(std::span<T>(data.data(), data.size()), less);
   comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
   comm.set_phase(Phase::kOther);
@@ -178,14 +168,12 @@ void mergesort_1l(Comm& comm, std::vector<T>& data,
       comm, std::span<const T>(data.data(), data.size()), ranks, less);
 
   std::vector<std::int64_t> sizes(static_cast<std::size_t>(p), 0);
-  std::vector<std::int64_t> offsets(static_cast<std::size_t>(p), 0);
   {
     std::int64_t prev = 0;
     for (int i = 0; i < p; ++i) {
       const std::int64_t end =
           i + 1 < p ? sel.split_positions[static_cast<std::size_t>(i)]
                     : static_cast<std::int64_t>(data.size());
-      offsets[static_cast<std::size_t>(i)] = prev;
       sizes[static_cast<std::size_t>(i)] = end - prev;
       prev = end;
     }
@@ -194,24 +182,24 @@ void mergesort_1l(Comm& comm, std::vector<T>& data,
   // --- data delivery ----------------------------------------------------------
   coll::barrier(comm);
   comm.set_phase(Phase::kDataDelivery);
-  auto runs = detail::dense_exchange(comm, data, sizes, offsets, cfg.exchange);
+  auto runs = detail::dense_exchange(comm, data, sizes, cfg.exchange);
 
   // --- bucket processing: p-way merge (or sort from scratch à la MP-sort) ---
   coll::barrier(comm);
   comm.set_phase(Phase::kBucketProcessing);
   if (sort_from_scratch) {
-    std::size_t total = 0;
-    for (const auto& rn : runs) total += rn.size();
-    data.clear();
-    data.reserve(total);
-    for (auto& rn : runs) data.insert(data.end(), rn.begin(), rn.end());
+    data = std::move(runs).take_flat();
     seq::local_sort(std::span<T>(data.data(), data.size()), less);
     comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
   } else {
-    data = seq::multiway_merge(runs, less);
+    const auto run_spans = runs.part_spans();
+    data = seq::multiway_merge(
+        std::span<const std::span<const T>>(run_spans.data(),
+                                            run_spans.size()),
+        less);
     comm.charge(machine.merge_cost(
         static_cast<std::int64_t>(data.size()),
-        static_cast<std::int64_t>(std::max<std::size_t>(runs.size(), 1))));
+        static_cast<std::int64_t>(std::max<int>(runs.parts(), 1))));
   }
   comm.set_phase(Phase::kOther);
 }

@@ -4,18 +4,32 @@
 // the virtual-time cost of, e.g., an allreduce is Θ(α log p + βℓ) — the
 // bounds the paper quotes from [2, 30] — without any hand-inserted charges.
 //
+// The irregular collectives are *flat-buffer* APIs, the shape real MPI
+// specifies them in (one contiguous buffer plus counts/displacements):
+// gatherv/allgatherv return a FlatParts<T> view (flat.hpp), alltoallv takes
+// (sendbuf, counts) spans, and sparse_exchange returns one flat buffer
+// indexed by (message, offset). Internally each tree edge serialises its
+// accumulated payload exactly once and every part lands at its offset in
+// one result buffer, so a collective costs O(1) heap allocations per PE
+// instead of one per rank per PE — that Θ(p²)-allocation host-time wall is
+// what capped executed runs before; virtual-time costs are unchanged (see
+// docs/DESIGN.md §7).
+//
 // Provided (all SPMD-collective over the communicator):
 //   barrier                — dissemination barrier, Θ(α log p)
 //   bcast / bcast_one      — binomial tree
 //   reduce_add/allreduce_add, allreduce (generic op) — elementwise on vectors
 //   exscan_add             — vector-valued exclusive prefix sum (dissemination)
-//   gatherv / allgatherv   — binomial gather (+ broadcast)
+//   *_one                  — scalar wrappers over the vector collectives,
+//                            all through the same one-element adapter
+//   gatherv / allgatherv   — binomial gather (+ broadcast) → FlatParts<T>
 //   allgather_merge        — gossip of *sorted* runs, merging at every
 //                            combine step (the modified allGather of §4.2)
-//   alltoallv              — dense irregular exchange; Schedule::kDirect posts
-//                            every pair (p−1 startups, like mpich), Schedule::
-//                            kOneFactor runs the 1-factor algorithm [31] and
-//                            omits empty messages (§7.1)
+//   alltoallv              — dense irregular exchange over (sendbuf, counts);
+//                            Schedule::kDirect posts every pair (p−1
+//                            startups, like mpich), Schedule::kOneFactor
+//                            runs the 1-factor algorithm [31] and omits
+//                            empty messages (§7.1)
 //   sparse_exchange        — NBX-style sparse all-to-all: only actual
 //                            messages are charged plus an α log p
 //                            termination-detection barrier; used by the data
@@ -26,10 +40,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "coll/flat.hpp"
 #include "common/check.hpp"
 #include "common/math.hpp"
 #include "common/types.hpp"
@@ -58,6 +75,20 @@ inline void barrier(Comm& comm) {
     (void)comm.recv<std::byte>(src, tag + static_cast<std::uint64_t>(round));
   }
 }
+
+namespace detail {
+
+/// The shared shape of every scalar ("*_one") collective: wrap the value in
+/// a one-element vector, run the vector-valued collective, unwrap.
+template <Sortable T, typename VecOp>
+T one(T value, VecOp&& op) {
+  std::vector<T> v{std::move(value)};
+  std::forward<VecOp>(op)(v);
+  PMPS_ASSERT(v.size() == 1);
+  return v[0];
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // broadcast
@@ -93,9 +124,8 @@ void bcast(Comm& comm, std::vector<T>& data, int root = 0) {
 /// Broadcast of a single value from `root`.
 template <Sortable T>
 T bcast_one(Comm& comm, T value, int root = 0) {
-  std::vector<T> v{value};
-  bcast(comm, v, root);
-  return v[0];
+  return detail::one(std::move(value),
+                     [&](std::vector<T>& v) { bcast(comm, v, root); });
 }
 
 // ---------------------------------------------------------------------------
@@ -147,11 +177,11 @@ inline std::vector<std::int64_t> allreduce_add(
 }
 
 /// Allreduce of a single value with a generic associative `op`.
-template <Sortable T>
-T allreduce_one(Comm& comm, T value, auto op) {
-  std::vector<T> v{value};
-  v = allreduce(comm, std::move(v), op);
-  return v[0];
+template <Sortable T, typename Op>
+T allreduce_one(Comm& comm, T value, Op op) {
+  return detail::one(std::move(value), [&](std::vector<T>& v) {
+    v = allreduce(comm, std::move(v), op);
+  });
 }
 
 /// Global sum of one int64 per PE.
@@ -194,8 +224,9 @@ inline std::vector<std::int64_t> exscan_add(
 
 /// Exclusive prefix sum of one int64 per PE (rank 0 gets 0).
 inline std::int64_t exscan_add_one(Comm& comm, std::int64_t v) {
-  std::vector<std::int64_t> x{v};
-  return exscan_add(comm, x)[0];
+  return detail::one(v, [&](std::vector<std::int64_t>& x) {
+    x = exscan_add(comm, x);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -203,31 +234,26 @@ inline std::int64_t exscan_add_one(Comm& comm, std::int64_t v) {
 // ---------------------------------------------------------------------------
 
 /// Binomial gather of variable-length contributions. On `root` the result
-/// holds one entry per source rank (in rank order); elsewhere it is empty.
+/// holds one part per source rank (in rank order); elsewhere it is an empty
+/// view (zero parts).
+///
+/// Every PE accumulates ONE flat payload plus (vrank, size) header pairs;
+/// a combine step appends the child's header and payload to its own, so
+/// each tree edge serialises exactly once and nothing is ever repacked —
+/// the seed implementation's per-step re-serialisation into per-rank
+/// vectors was the dominant host-time cost of large-p gathers.
 template <Sortable T>
-std::vector<std::vector<T>> gatherv(Comm& comm, std::span<const T> local,
-                                    int root = 0) {
+FlatParts<T> gatherv(Comm& comm, std::span<const T> local, int root = 0) {
   const int p = comm.size();
   const std::uint64_t tag = comm.next_tag_block();
   const int vrank = (comm.rank() - root + p) % p;
 
-  // Each PE accumulates (vrank, payload) pairs; serialise as
-  // [count | vrank sizes... | data...] to keep it a single message per edge.
-  std::vector<std::pair<int, std::vector<T>>> acc;
-  acc.emplace_back(vrank, std::vector<T>(local.begin(), local.end()));
+  std::vector<std::int64_t> header{static_cast<std::int64_t>(vrank),
+                                   static_cast<std::int64_t>(local.size())};
+  std::vector<T> payload(local.begin(), local.end());
 
   for (int step = 1; step < p; step <<= 1) {
     if ((vrank & step) != 0) {
-      // Serialise and send to parent.
-      std::vector<std::int64_t> header;
-      header.push_back(static_cast<std::int64_t>(acc.size()));
-      for (auto& [r, v] : acc) {
-        header.push_back(r);
-        header.push_back(static_cast<std::int64_t>(v.size()));
-      }
-      std::vector<T> payload;
-      for (auto& [r, v] : acc)
-        payload.insert(payload.end(), v.begin(), v.end());
       const int vdest = vrank - step;
       comm.send<std::int64_t>(
           (vdest + root) % p, tag + 2 * static_cast<std::uint64_t>(vrank),
@@ -235,64 +261,57 @@ std::vector<std::vector<T>> gatherv(Comm& comm, std::span<const T> local,
       comm.send<T>((vdest + root) % p,
                    tag + 2 * static_cast<std::uint64_t>(vrank) + 1,
                    std::span<const T>(payload));
-      break;
+      return {};
     }
     const int vsrc = vrank + step;
     if (vsrc < p) {
-      auto header = comm.recv<std::int64_t>(
-          (vsrc + root) % p, tag + 2 * static_cast<std::uint64_t>(vsrc));
-      auto payload = comm.recv<T>(
-          (vsrc + root) % p, tag + 2 * static_cast<std::uint64_t>(vsrc) + 1);
-      std::size_t off = 0;
-      const auto cnt = static_cast<std::size_t>(header[0]);
-      for (std::size_t i = 0; i < cnt; ++i) {
-        const int r = static_cast<int>(header[1 + 2 * i]);
-        const auto sz = static_cast<std::size_t>(header[2 + 2 * i]);
-        acc.emplace_back(r, std::vector<T>(payload.begin() + off,
-                                           payload.begin() + off + sz));
-        off += sz;
-      }
+      comm.recv_append<std::int64_t>(
+          (vsrc + root) % p, tag + 2 * static_cast<std::uint64_t>(vsrc),
+          header);
+      comm.recv_append<T>((vsrc + root) % p,
+                          tag + 2 * static_cast<std::uint64_t>(vsrc) + 1,
+                          payload);
     }
   }
 
-  std::vector<std::vector<T>> out;
-  if (comm.rank() == root) {
-    out.resize(static_cast<std::size_t>(p));
-    for (auto& [r, v] : acc) out[static_cast<std::size_t>(r)] = std::move(v);
+  // Root (vrank 0). Subtrees arrive in ascending-vrank order and each is
+  // internally vrank-ascending, so `payload` is already the concatenation
+  // in vrank order; rank order is the vrank order rotated by `root`.
+  PMPS_CHECK(header.size() == 2 * static_cast<std::size_t>(p));
+  std::vector<std::int64_t> vsizes(static_cast<std::size_t>(p));
+  for (int v = 0; v < p; ++v) {
+    PMPS_ASSERT(header[2 * static_cast<std::size_t>(v)] == v);
+    vsizes[static_cast<std::size_t>(v)] =
+        header[2 * static_cast<std::size_t>(v) + 1];
   }
-  return out;
+  if (root != 0) {
+    const auto vfirst = static_cast<std::size_t>(p - root);  // vrank of rank 0
+    std::int64_t elems_before = 0;
+    for (std::size_t v = 0; v < vfirst; ++v) elems_before += vsizes[v];
+    std::rotate(payload.begin(), payload.begin() + elems_before,
+                payload.end());
+    std::rotate(vsizes.begin(),
+                vsizes.begin() + static_cast<std::int64_t>(vfirst),
+                vsizes.end());
+  }
+  return FlatParts<T>::from_sizes(std::move(payload), vsizes);
 }
 
-/// allgatherv = gather to 0 + broadcast. Every PE gets all contributions in
-/// rank order.
+/// allgatherv = gather to 0 + broadcast of (sizes, flat buffer). Every PE
+/// gets all contributions in rank order as one FlatParts view.
 template <Sortable T>
-std::vector<std::vector<T>> allgatherv(Comm& comm, std::span<const T> local) {
+FlatParts<T> allgatherv(Comm& comm, std::span<const T> local) {
   const int p = comm.size();
-  auto parts = gatherv(comm, local, /*root=*/0);
+  FlatParts<T> gathered = gatherv(comm, local, /*root=*/0);
 
-  // Broadcast flattened data + sizes.
-  std::vector<std::int64_t> sizes(static_cast<std::size_t>(p));
-  std::vector<T> flat;
-  if (comm.rank() == 0) {
-    for (int i = 0; i < p; ++i) {
-      sizes[static_cast<std::size_t>(i)] =
-          static_cast<std::int64_t>(parts[static_cast<std::size_t>(i)].size());
-      flat.insert(flat.end(), parts[static_cast<std::size_t>(i)].begin(),
-                  parts[static_cast<std::size_t>(i)].end());
-    }
-  }
+  std::vector<std::int64_t> sizes = comm.rank() == 0
+                                        ? gathered.sizes()
+                                        : std::vector<std::int64_t>(
+                                              static_cast<std::size_t>(p));
   bcast(comm, sizes, 0);
+  std::vector<T> flat = std::move(gathered).take_flat();  // empty off-root
   bcast(comm, flat, 0);
-
-  std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
-  std::size_t off = 0;
-  for (int i = 0; i < p; ++i) {
-    const auto sz = static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]);
-    out[static_cast<std::size_t>(i)].assign(flat.begin() + off,
-                                            flat.begin() + off + sz);
-    off += sz;
-  }
-  return out;
+  return FlatParts<T>::from_sizes(std::move(flat), sizes);
 }
 
 // ---------------------------------------------------------------------------
@@ -404,24 +423,42 @@ enum class Schedule {
   kOneFactor,  ///< 1-factor pairing [31], empty messages omitted (§7.1)
 };
 
-/// Dense alltoallv: `send[i]` goes to rank i; returns the received buffers
-/// indexed by source rank. The self part is moved locally (copy cost only).
-/// Receive sizes are known to both endpoints after a Bruck counts exchange
-/// (charged), mirroring how MPI_Alltoallv callers first alltoall the counts.
+/// Dense alltoallv over one flat send buffer: `sendbuf` holds the per-rank
+/// pieces consecutively (piece i, of counts[i] elements, goes to rank i).
+/// Returns the received pieces indexed by source rank as a FlatParts view;
+/// every piece is received directly into its offset of the one result
+/// buffer. The self part is copied locally (copy cost only). Under
+/// kOneFactor receive sizes are known to both endpoints after a Bruck
+/// counts exchange (charged), mirroring how MPI_Alltoallv callers first
+/// alltoall the counts; kDirect posts blind (sizes read off the messages,
+/// like mpich's direct algorithm — no counts exchange).
 template <Sortable T>
-std::vector<std::vector<T>> alltoallv(Comm& comm,
-                                      std::vector<std::vector<T>> send,
-                                      Schedule sched = Schedule::kOneFactor) {
+FlatParts<T> alltoallv(Comm& comm, std::span<const T> sendbuf,
+                       std::span<const std::int64_t> counts,
+                       Schedule sched = Schedule::kOneFactor) {
   const int p = comm.size();
-  PMPS_CHECK(static_cast<int>(send.size()) == p);
-  std::vector<std::vector<T>> recv(static_cast<std::size_t>(p));
   const int me = comm.rank();
-  recv[static_cast<std::size_t>(me)] =
-      std::move(send[static_cast<std::size_t>(me)]);
-  send[static_cast<std::size_t>(me)].clear();
+  PMPS_CHECK(static_cast<int>(counts.size()) == p);
+  std::vector<std::int64_t> send_off(static_cast<std::size_t>(p) + 1, 0);
+  for (int i = 0; i < p; ++i)
+    send_off[static_cast<std::size_t>(i) + 1] =
+        send_off[static_cast<std::size_t>(i)] +
+        counts[static_cast<std::size_t>(i)];
+  PMPS_CHECK(send_off[static_cast<std::size_t>(p)] ==
+             static_cast<std::int64_t>(sendbuf.size()));
+  const auto send_part = [&](int i) {
+    return sendbuf.subspan(
+        static_cast<std::size_t>(send_off[static_cast<std::size_t>(i)]),
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(i)]));
+  };
+
   comm.charge(comm.machine().copy_cost(
-      recv[static_cast<std::size_t>(me)].size() * sizeof(T)));
-  if (p == 1) return recv;
+      static_cast<std::size_t>(counts[static_cast<std::size_t>(me)]) *
+      sizeof(T)));
+  if (p == 1) {
+    return FlatParts<T>::from_sizes(
+        std::vector<T>(sendbuf.begin(), sendbuf.end()), counts);
+  }
 
   if (sched == Schedule::kDirect) {
     const std::uint64_t tag = comm.next_tag_block();
@@ -429,23 +466,67 @@ std::vector<std::vector<T>> alltoallv(Comm& comm,
     for (int i = 1; i < p; ++i) {
       const int dest = (me + i) % p;
       comm.send<T>(dest, tag + static_cast<std::uint64_t>(me),
-                   std::span<const T>(send[static_cast<std::size_t>(dest)]));
+                   send_part(dest));
     }
+    // Sizes are unknown until the messages arrive: hold the raw (pooled)
+    // payload buffers, then assemble the flat result in one pass.
+    std::vector<net::Message> pending(static_cast<std::size_t>(p));
     for (int i = 1; i < p; ++i) {
       const int src = (me - i + p) % p;
-      recv[static_cast<std::size_t>(src)] =
-          comm.recv<T>(src, tag + static_cast<std::uint64_t>(src));
+      pending[static_cast<std::size_t>(src)] =
+          comm.recv_bytes(src, tag + static_cast<std::uint64_t>(src));
     }
-    return recv;
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(p), 0);
+    sizes[static_cast<std::size_t>(me)] = counts[static_cast<std::size_t>(me)];
+    for (int s = 0; s < p; ++s) {
+      if (s == me) continue;
+      const auto& payload = pending[static_cast<std::size_t>(s)].payload;
+      PMPS_CHECK(payload.size() % sizeof(T) == 0);
+      sizes[static_cast<std::size_t>(s)] =
+          static_cast<std::int64_t>(payload.size() / sizeof(T));
+    }
+    std::vector<std::int64_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+    for (int i = 0; i < p; ++i)
+      offsets[static_cast<std::size_t>(i) + 1] =
+          offsets[static_cast<std::size_t>(i)] +
+          sizes[static_cast<std::size_t>(i)];
+    std::vector<T> flat(
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(p)]));
+    for (int s = 0; s < p; ++s) {
+      T* dst = flat.data() + offsets[static_cast<std::size_t>(s)];
+      if (s == me) {
+        const auto self = send_part(me);
+        std::copy(self.begin(), self.end(), dst);
+      } else {
+        net::Message& m = pending[static_cast<std::size_t>(s)];
+        if (!m.payload.empty())
+          std::memcpy(dst, m.payload.data(), m.payload.size());
+        comm.release_payload(std::move(m));
+      }
+    }
+    return FlatParts<T>(std::move(flat), std::move(offsets));
   }
 
   // 1-factor algorithm [31]: p−1 (p even) or p (p odd) rounds of disjoint
   // pairs; rounds where both directions are empty cost nothing.
-  std::vector<std::int64_t> out_counts(static_cast<std::size_t>(p), 0);
-  for (int i = 0; i < p; ++i)
-    out_counts[static_cast<std::size_t>(i)] =
-        static_cast<std::int64_t>(send[static_cast<std::size_t>(i)].size());
+  std::vector<std::int64_t> out_counts(counts.begin(), counts.end());
+  out_counts[static_cast<std::size_t>(me)] = 0;
   const std::vector<std::int64_t> in_counts = alltoall_counts(comm, out_counts);
+
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int i = 0; i < p; ++i) {
+    const std::int64_t sz = i == me ? counts[static_cast<std::size_t>(me)]
+                                    : in_counts[static_cast<std::size_t>(i)];
+    offsets[static_cast<std::size_t>(i) + 1] =
+        offsets[static_cast<std::size_t>(i)] + sz;
+  }
+  std::vector<T> flat(
+      static_cast<std::size_t>(offsets[static_cast<std::size_t>(p)]));
+  {
+    const auto self = send_part(me);
+    std::copy(self.begin(), self.end(),
+              flat.data() + offsets[static_cast<std::size_t>(me)]);
+  }
 
   const std::uint64_t tag = comm.next_tag_block();
   const bool even = (p % 2) == 0;
@@ -465,20 +546,19 @@ std::vector<std::vector<T>> alltoallv(Comm& comm,
       partner = ((r - me) % p + p) % p;
       if (partner == me) continue;  // idle round
     }
-    const auto& out = send[static_cast<std::size_t>(partner)];
+    const auto out = send_part(partner);
     if (!out.empty()) {
-      comm.send<T>(partner, tag + static_cast<std::uint64_t>(r),
-                   std::span<const T>(out));
+      comm.send<T>(partner, tag + static_cast<std::uint64_t>(r), out);
     }
-    if (in_counts[static_cast<std::size_t>(partner)] > 0) {
-      recv[static_cast<std::size_t>(partner)] =
-          comm.recv<T>(partner, tag + static_cast<std::uint64_t>(r));
-      PMPS_CHECK(static_cast<std::int64_t>(
-                     recv[static_cast<std::size_t>(partner)].size()) ==
-                 in_counts[static_cast<std::size_t>(partner)]);
+    const std::int64_t in_sz = in_counts[static_cast<std::size_t>(partner)];
+    if (in_sz > 0) {
+      comm.recv_into<T>(
+          partner, tag + static_cast<std::uint64_t>(r),
+          std::span<T>(flat.data() + offsets[static_cast<std::size_t>(partner)],
+                       static_cast<std::size_t>(in_sz)));
     }
   }
-  return recv;
+  return FlatParts<T>(std::move(flat), std::move(offsets));
 }
 
 // ---------------------------------------------------------------------------
@@ -492,6 +572,18 @@ struct OutMessage {
   std::vector<T> data;
 };
 
+/// Result of a sparse exchange: one flat buffer holding every received
+/// message, indexed by (message, offset) through the FlatParts view, with
+/// the source rank of each part alongside. Parts are ordered by source rank
+/// and, within a source, by send order.
+template <Sortable T>
+struct SparseIn {
+  FlatParts<T> parts;
+  std::vector<int> srcs;  ///< srcs[i] = source rank of parts.part(i)
+
+  int count() const { return parts.parts(); }
+};
+
 /// Sparse all-to-all: each PE sends an arbitrary set of messages; receivers
 /// do not know the senders in advance. Mirrors the NBX algorithm (dynamic
 /// sparse data exchange): only the actual messages are charged, plus a
@@ -499,11 +591,12 @@ struct OutMessage {
 /// resolved out of band (uncharged), which is what NBX's speculative
 /// receive loop achieves on a real machine.
 ///
-/// Returns (source rank, payload) pairs sorted by source rank; messages from
-/// the same source keep their send order via an index.
+/// Every received payload is appended to one flat result buffer (no
+/// per-message vector), so the host-time cost is O(messages) appends plus
+/// O(1) allocations.
 template <Sortable T>
-std::vector<std::pair<int, std::vector<T>>> sparse_exchange(
-    Comm& comm, const std::vector<OutMessage<T>>& outgoing) {
+SparseIn<T> sparse_exchange(Comm& comm,
+                            const std::vector<OutMessage<T>>& outgoing) {
   const int p = comm.size();
   const std::uint64_t tag = comm.next_tag_block();
 
@@ -525,18 +618,22 @@ std::vector<std::pair<int, std::vector<T>>> sparse_exchange(
     comm.send<T>(m.dest_rank, tag + k, std::span<const T>(m.data));
   }
 
-  std::vector<std::pair<int, std::vector<T>>> incoming;
+  SparseIn<T> in;
+  std::vector<T> flat;
+  std::vector<std::int64_t> offsets{0};
   for (int src = 0; src < p; ++src) {
     for (std::int64_t k = 0; k < in_count[static_cast<std::size_t>(src)];
          ++k) {
-      incoming.emplace_back(
-          src, comm.recv<T>(src, tag + static_cast<std::uint64_t>(k)));
+      comm.recv_append<T>(src, tag + static_cast<std::uint64_t>(k), flat);
+      offsets.push_back(static_cast<std::int64_t>(flat.size()));
+      in.srcs.push_back(src);
     }
   }
+  in.parts = FlatParts<T>(std::move(flat), std::move(offsets));
 
   // Termination detection (NBX ibarrier), charged.
   barrier(comm);
-  return incoming;
+  return in;
 }
 
 }  // namespace pmps::coll

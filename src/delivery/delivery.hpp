@@ -122,12 +122,13 @@ inline std::vector<std::int64_t> local_offsets(
 
 /// Common entry: `data` holds r consecutive pieces of sizes `piece_sizes`
 /// (piece g destined for group g); requires size() % r == 0. Returns the
-/// received runs (each a contiguous fragment of some sender's piece; if the
-/// sender's data was sorted, each run is sorted).
+/// received runs as one FlatParts buffer — part i is a contiguous fragment
+/// of some sender's piece (if the sender's data was sorted, each run is
+/// sorted); take_flat() hands the concatenation over without a copy.
 template <typename T>
-std::vector<std::vector<T>> deliver(Comm& comm, std::span<const T> data,
-                                    const std::vector<std::int64_t>& piece_sizes,
-                                    Algo algo, std::uint64_t seed = 1);
+coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
+                           const std::vector<std::int64_t>& piece_sizes,
+                           Algo algo, std::uint64_t seed = 1);
 
 // ---------------------------------------------------------------------------
 // simple & randomized
@@ -138,7 +139,7 @@ std::vector<std::vector<T>> deliver(Comm& comm, std::span<const T> data,
 /// at a global position in its group's stream; chunk boundaries map
 /// positions to receivers. O(2r) sends per PE.
 template <typename T>
-std::vector<std::vector<T>> deliver_simple_impl(
+coll::FlatParts<T> deliver_simple_impl(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes, bool permute_senders,
     std::uint64_t seed) {
@@ -173,11 +174,7 @@ std::vector<std::vector<T>> deliver_simple_impl(
         p_prime, out);
   }
 
-  auto incoming = coll::sparse_exchange(comm, out);
-  std::vector<std::vector<T>> runs;
-  runs.reserve(incoming.size());
-  for (auto& [src, payload] : incoming) runs.push_back(std::move(payload));
-  return runs;
+  return coll::sparse_exchange(comm, out).parts;
 }
 
 // ---------------------------------------------------------------------------
@@ -206,7 +203,7 @@ struct FragmentAssign {
 /// ≤ r per receiver; large pieces fill the residual capacities. Every
 /// receiver gets O(r) messages regardless of the piece-size distribution.
 template <typename T>
-std::vector<std::vector<T>> deliver_deterministic(
+coll::FlatParts<T> deliver_deterministic(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes) {
   using detail::PieceDesc;
@@ -242,14 +239,11 @@ std::vector<std::vector<T>> deliver_deterministic(
 
   // Group-internal: allgather the descriptors so every member can compute
   // the identical assignment (replaces the Batcher-network merge of [15]).
+  // The sparse result is already one flat descriptor buffer, and the
+  // allgather result's concatenation is exactly the piece list.
   Comm group = comm.split_consecutive(r);
-  std::vector<PieceDesc> flat;
-  for (auto& [src, v] : desc_in)
-    flat.insert(flat.end(), v.begin(), v.end());
-  auto gathered = coll::allgatherv(
-      group, std::span<const PieceDesc>(flat.data(), flat.size()));
-  std::vector<PieceDesc> pieces;
-  for (auto& v : gathered) pieces.insert(pieces.end(), v.begin(), v.end());
+  std::vector<PieceDesc> pieces =
+      coll::allgatherv(group, desc_in.parts.flat()).take_flat();
   // Deterministic order: by sender rank (each sender has ≤ 1 piece/group).
   std::sort(pieces.begin(), pieces.end(),
             [](const PieceDesc& a, const PieceDesc& b) {
@@ -318,9 +312,6 @@ std::vector<std::vector<T>> deliver_deterministic(
     // which ones: sender/r == my rank-within-group (same mapping as above).
     const int my_within = group.rank();
     std::size_t ai = 0;
-    // assigns are grouped by piece in `pieces` order; rebuild mapping.
-    std::vector<std::vector<detail::FragmentAssign>> per_sender_frags;
-    std::vector<int> per_sender_rank;
     // Walk pieces twice in the same order as assignment generation: smalls
     // then larges.
     std::vector<const PieceDesc*> order;
@@ -352,20 +343,14 @@ std::vector<std::vector<T>> deliver_deterministic(
   // Ship the data.
   const auto loc = detail::local_offsets(piece_sizes);
   std::vector<coll::OutMessage<T>> out;
-  for (auto& [src, frags] : replies) {
-    for (const auto& f : frags) {
-      const auto base = static_cast<std::size_t>(
-          loc[static_cast<std::size_t>(f.group)] + f.piece_offset);
-      out.push_back(coll::OutMessage<T>{
-          f.dest, std::vector<T>(data.begin() + base,
-                                 data.begin() + base + f.len)});
-    }
+  for (const auto& f : replies.parts.flat()) {
+    const auto base = static_cast<std::size_t>(
+        loc[static_cast<std::size_t>(f.group)] + f.piece_offset);
+    out.push_back(coll::OutMessage<T>{
+        f.dest, std::vector<T>(data.begin() + base,
+                               data.begin() + base + f.len)});
   }
-  auto incoming = coll::sparse_exchange(comm, out);
-  std::vector<std::vector<T>> runs;
-  runs.reserve(incoming.size());
-  for (auto& [src, payload] : incoming) runs.push_back(std::move(payload));
-  return runs;
+  return coll::sparse_exchange(comm, out).parts;
 }
 
 // ---------------------------------------------------------------------------
@@ -395,7 +380,7 @@ struct RangeReply {
 /// that whp no receiver sees more than O(r) messages, without the barrier
 /// structure of the deterministic scheme.
 template <typename T>
-std::vector<std::vector<T>> deliver_advanced(
+coll::FlatParts<T> deliver_advanced(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes, std::uint64_t seed) {
   using detail::Delegation;
@@ -471,8 +456,8 @@ std::vector<std::vector<T>> deliver_advanced(
   std::vector<std::int64_t> contrib(static_cast<std::size_t>(r), 0);
   for (const auto& f : frags)
     if (!f.large) contrib[static_cast<std::size_t>(f.group)] += f.size;
-  for (auto& [src, v] : delegated)
-    for (const auto& d : v) contrib[static_cast<std::size_t>(d.group)] += d.size;
+  for (const auto& d : delegated.parts.flat())
+    contrib[static_cast<std::size_t>(d.group)] += d.size;
 
   auto positions = coll::exscan_add(comm, contrib);
 
@@ -489,14 +474,12 @@ std::vector<std::vector<T>> deliver_advanced(
           cursor[static_cast<std::size_t>(f.group)]});
       cursor[static_cast<std::size_t>(f.group)] += f.size;
     }
-    for (auto& [src, v] : delegated) {
-      for (const auto& d : v) {
-        reply_out.push_back(coll::OutMessage<RangeReply>{
-            d.origin,
-            {RangeReply{d.group, d.piece_offset, d.size,
-                        cursor[static_cast<std::size_t>(d.group)]}}});
-        cursor[static_cast<std::size_t>(d.group)] += d.size;
-      }
+    for (const auto& d : delegated.parts.flat()) {
+      reply_out.push_back(coll::OutMessage<RangeReply>{
+          d.origin,
+          {RangeReply{d.group, d.piece_offset, d.size,
+                      cursor[static_cast<std::size_t>(d.group)]}}});
+      cursor[static_cast<std::size_t>(d.group)] += d.size;
     }
   }
   auto range_replies = coll::sparse_exchange(comm, reply_out);
@@ -513,14 +496,9 @@ std::vector<std::vector<T>> deliver_advanced(
         out);
   };
   for (const auto& rr : my_small_ranges) emit(rr);
-  for (auto& [src, v] : range_replies)
-    for (const auto& rr : v) emit(rr);
+  for (const auto& rr : range_replies.parts.flat()) emit(rr);
 
-  auto incoming = coll::sparse_exchange(comm, out);
-  std::vector<std::vector<T>> runs;
-  runs.reserve(incoming.size());
-  for (auto& [src, payload] : incoming) runs.push_back(std::move(payload));
-  return runs;
+  return coll::sparse_exchange(comm, out).parts;
 }
 
 // ---------------------------------------------------------------------------
@@ -528,9 +506,9 @@ std::vector<std::vector<T>> deliver_advanced(
 // ---------------------------------------------------------------------------
 
 template <typename T>
-std::vector<std::vector<T>> deliver(Comm& comm, std::span<const T> data,
-                                    const std::vector<std::int64_t>& piece_sizes,
-                                    Algo algo, std::uint64_t seed) {
+coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
+                           const std::vector<std::int64_t>& piece_sizes,
+                           Algo algo, std::uint64_t seed) {
   std::int64_t sum = 0;
   for (auto v : piece_sizes) sum += v;
   PMPS_CHECK(sum == static_cast<std::int64_t>(data.size()));

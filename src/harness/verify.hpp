@@ -69,14 +69,15 @@ SortCheck verify_sorted_output(Comm& comm, std::span<const T> output,
     b.first = output.front();
     b.last = output.back();
   }
+  // One Boundary per PE, so the gathered flat buffer is exactly the p
+  // boundaries in rank order — walk it directly, no per-rank unwrapping.
   auto parts = coll::gatherv(
       comm, std::span<const Boundary>(&b, 1), /*root=*/0);
   std::uint8_t order_ok = 1;
   if (comm.rank() == 0) {
     bool have_prev = false;
     T prev{};
-    for (const auto& v : parts) {
-      const Boundary& bi = v[0];
+    for (const Boundary& bi : parts.flat()) {
       if (bi.count == 0) continue;
       if (have_prev && less(bi.first, prev)) order_ok = 0;
       prev = bi.last;

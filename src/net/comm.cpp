@@ -70,6 +70,7 @@ void Comm::send_bytes(int dest_rank, std::uint64_t tag,
   msg.tag = tag;
   msg.src_pe = ctx_->pe;
   msg.arrival = ctx_->clock;  // sender-finish time in the single-ported model
+  msg.payload = engine_->buffer_pool().acquire();
   msg.payload.assign(payload.begin(), payload.end());
   engine_->deposit_message(dest_pe, std::move(msg));
 }
@@ -94,6 +95,10 @@ Message Comm::recv_bytes(int src_rank, std::uint64_t tag) {
     ctx_->stats.bytes_received += static_cast<std::int64_t>(m.payload.size());
   }
   return m;
+}
+
+void Comm::release_payload(Message&& m) {
+  engine_->buffer_pool().release(std::move(m.payload));
 }
 
 Comm Comm::split(int color, int key) {

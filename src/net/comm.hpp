@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <vector>
@@ -66,8 +67,40 @@ class Comm {
     Message m = recv_bytes(src_rank, tag);
     PMPS_CHECK(m.payload.size() % sizeof(T) == 0);
     std::vector<T> out(m.payload.size() / sizeof(T));
-    std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    if (!m.payload.empty())
+      std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    release_payload(std::move(m));
     return out;
+  }
+
+  /// Receives a message of exactly `dest.size()` elements directly into
+  /// `dest` — no intermediate typed vector; the payload buffer goes back to
+  /// the engine's pool. The flat collectives use this to land parts at their
+  /// offset in one contiguous result buffer.
+  template <Sortable T>
+  void recv_into(int src_rank, std::uint64_t tag, std::span<T> dest) {
+    Message m = recv_bytes(src_rank, tag);
+    PMPS_CHECK(m.payload.size() == dest.size_bytes());
+    if (!m.payload.empty())
+      std::memcpy(dest.data(), m.payload.data(), m.payload.size());
+    release_payload(std::move(m));
+  }
+
+  /// Receives a message and appends its elements to `out` (single grow, no
+  /// intermediate vector); returns the number of elements appended.
+  template <Sortable T>
+  std::size_t recv_append(int src_rank, std::uint64_t tag,
+                          std::vector<T>& out) {
+    Message m = recv_bytes(src_rank, tag);
+    PMPS_CHECK(m.payload.size() % sizeof(T) == 0);
+    const std::size_t n = m.payload.size() / sizeof(T);
+    if (n > 0) {
+      const std::size_t old = out.size();
+      out.resize(old + n);
+      std::memcpy(out.data() + old, m.payload.data(), m.payload.size());
+    }
+    release_payload(std::move(m));
+    return n;
   }
 
   /// Sends a single value.
@@ -86,6 +119,11 @@ class Comm {
   void send_bytes(int dest_rank, std::uint64_t tag,
                   std::span<const std::byte> payload);
   Message recv_bytes(int src_rank, std::uint64_t tag);
+
+  /// Returns a consumed message's payload buffer to the engine's pool.
+  /// Callers of recv_bytes should release once done with the payload; the
+  /// typed recv helpers do it automatically.
+  void release_payload(Message&& m);
 
   // --- sub-communicators ------------------------------------------------------
   /// Splits this communicator: PEs with equal `color` form a new

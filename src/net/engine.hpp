@@ -119,6 +119,10 @@ class Engine {
   void deposit_message(int dest_pe, Message&& m);
   Message retrieve_message(PeContext& ctx, const MsgKey& key);
 
+  /// Recycled payload buffers: senders acquire, receivers release after
+  /// copying the payload out (see BufferPool in mailbox.hpp).
+  BufferPool& buffer_pool() { return buffer_pool_; }
+
   /// Aggregated results of the last run().
   RunReport report() const;
 
@@ -131,6 +135,7 @@ class Engine {
   std::uint64_t run_counter_ = 0;
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<FiberPool> pool_;  ///< lazily created (fiber backend, p > 1)
+  BufferPool buffer_pool_;
 };
 
 /// Convenience: build an engine, run `program`, return the report.

@@ -39,6 +39,44 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// Free-list of message payload buffers, shared by all PEs of an engine.
+///
+/// Every simulated send used to heap-allocate a fresh payload vector and
+/// every recv freed it — at paper-scale p the allocator churn dominated
+/// *host* time (virtual time never sees it). Senders now acquire() a
+/// recycled buffer and receivers release() it once the payload has been
+/// copied out, so steady-state communication allocates nothing.
+///
+/// acquire() returns an *empty* buffer (capacity retained from its previous
+/// life); the caller assigns the payload, which reuses the capacity when it
+/// suffices and grows it otherwise. Buffers keep their capacity while
+/// pooled, so the retained memory converges to the peak number of in-flight
+/// messages times the typical payload size — memory the simulation already
+/// needed at its peak. The free list is capped; beyond the cap release()
+/// simply frees.
+class BufferPool {
+ public:
+  std::vector<std::byte> acquire() {
+    std::lock_guard lock(mu_);
+    if (free_.empty()) return {};
+    std::vector<std::byte> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  void release(std::vector<std::byte>&& buf) {
+    if (buf.capacity() == 0) return;
+    buf.clear();
+    std::lock_guard lock(mu_);
+    if (free_.size() < kMaxRetained) free_.push_back(std::move(buf));
+  }
+
+ private:
+  static constexpr std::size_t kMaxRetained = 8192;
+  std::mutex mu_;
+  std::vector<std::vector<std::byte>> free_;
+};
+
 /// Matching key for point-to-point messages.
 struct MsgKey {
   std::uint64_t comm_id = 0;

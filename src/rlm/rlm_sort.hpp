@@ -89,10 +89,13 @@ void rlm_level(Comm& comm, std::vector<T>& data, const RlmConfig& cfg,
   // --- phase 3: bucket processing (multiway merge of sorted runs) ----------
   coll::barrier(comm);
   comm.set_phase(Phase::kBucketProcessing);
-  data = seq::multiway_merge(runs, less);
+  const auto run_spans = runs.part_spans();
+  data = seq::multiway_merge(
+      std::span<const std::span<const T>>(run_spans.data(), run_spans.size()),
+      less);
   comm.charge(machine.merge_cost(
       static_cast<std::int64_t>(data.size()),
-      static_cast<std::int64_t>(std::max<std::size_t>(runs.size(), 1))));
+      static_cast<std::int64_t>(std::max<int>(runs.parts(), 1))));
   comm.set_phase(Phase::kOther);
 
   // --- recurse --------------------------------------------------------------

@@ -1,5 +1,8 @@
 // Tests for the collective operations, over many communicator sizes
-// (powers of two and odd sizes exercise both code paths).
+// (powers of two and odd sizes exercise both code paths), plus the
+// FlatParts view the irregular collectives return and a randomized
+// property test pitting the flat collectives against a naive p2p
+// reference.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +11,7 @@
 #include <vector>
 
 #include "coll/collectives.hpp"
+#include "coll/flat.hpp"
 #include "common/random.hpp"
 #include "net/engine.hpp"
 
@@ -17,6 +21,77 @@ namespace {
 using net::Comm;
 using net::Engine;
 using net::MachineParams;
+
+// ---------------------------------------------------------------------------
+// FlatParts accessors (no engine needed)
+// ---------------------------------------------------------------------------
+
+TEST(FlatParts, DefaultIsEmpty) {
+  FlatParts<int> fp;
+  EXPECT_EQ(fp.parts(), 0);
+  EXPECT_EQ(fp.total(), 0);
+  EXPECT_TRUE(fp.flat().empty());
+  EXPECT_EQ(fp.begin(), fp.end());
+  EXPECT_TRUE(fp.sizes().empty());
+}
+
+TEST(FlatParts, SingleRank) {
+  auto fp = FlatParts<int>::from_sizes({7, 8, 9},
+                                       std::vector<std::int64_t>{3});
+  EXPECT_EQ(fp.parts(), 1);
+  EXPECT_EQ(fp.total(), 3);
+  EXPECT_EQ(fp.size(0), 3);
+  EXPECT_EQ(fp.part(0)[2], 9);
+}
+
+TEST(FlatParts, EmptyPartsBetweenFullOnes) {
+  auto fp = FlatParts<int>::from_sizes(
+      {1, 2, 3, 4}, std::vector<std::int64_t>{2, 0, 1, 0, 1});
+  EXPECT_EQ(fp.parts(), 5);
+  EXPECT_EQ(fp.total(), 4);
+  EXPECT_EQ(fp.size(1), 0);
+  EXPECT_TRUE(fp.part(1).empty());
+  EXPECT_TRUE(fp.part(3).empty());
+  EXPECT_EQ(fp.part(2)[0], 3);
+  EXPECT_EQ(fp.part(4)[0], 4);
+  // Offsets invariants: p+1 entries, leading 0, non-decreasing, total last.
+  const auto& off = fp.offsets();
+  ASSERT_EQ(off.size(), 6u);
+  EXPECT_EQ(off.front(), 0);
+  EXPECT_EQ(off.back(), fp.total());
+  EXPECT_TRUE(std::is_sorted(off.begin(), off.end()));
+  // sizes() round-trips.
+  EXPECT_EQ(fp.sizes(), (std::vector<std::int64_t>{2, 0, 1, 0, 1}));
+}
+
+TEST(FlatParts, IterationVisitsPartsInOrder) {
+  auto fp = FlatParts<int>::from_sizes({10, 20, 30},
+                                       std::vector<std::int64_t>{1, 0, 2});
+  std::vector<std::vector<int>> seen;
+  for (std::span<const int> part : fp)
+    seen.emplace_back(part.begin(), part.end());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::vector<int>{10}));
+  EXPECT_TRUE(seen[1].empty());
+  EXPECT_EQ(seen[2], (std::vector<int>{20, 30}));
+}
+
+TEST(FlatParts, TakeFlatMovesBufferOut) {
+  auto fp = FlatParts<int>::from_sizes({1, 2, 3},
+                                       std::vector<std::int64_t>{1, 2});
+  std::vector<int> flat = std::move(fp).take_flat();
+  EXPECT_EQ(flat, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FlatPartsDeath, OffsetsMustCoverBuffer) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      { FlatParts<int> fp({1, 2, 3}, {0, 2}); }, "");
+}
+
+// ---------------------------------------------------------------------------
+// collectives
+// ---------------------------------------------------------------------------
 
 class CollectivesP : public ::testing::TestWithParam<int> {
  protected:
@@ -66,6 +141,14 @@ TEST_P(CollectivesP, AllreduceAddAndMax) {
   });
 }
 
+TEST_P(CollectivesP, ScalarHelpersAgreeWithVectorForms) {
+  run([](Comm& comm) {
+    EXPECT_EQ(bcast_one<std::int64_t>(comm, comm.rank() + 5, 0), 5);
+    const std::int64_t r = comm.rank();
+    EXPECT_EQ(exscan_add_one(comm, 2), 2 * r);
+  });
+}
+
 TEST_P(CollectivesP, ExscanAdd) {
   run([](Comm& comm) {
     std::vector<std::int64_t> v{1, comm.rank()};
@@ -76,21 +159,27 @@ TEST_P(CollectivesP, ExscanAdd) {
   });
 }
 
-TEST_P(CollectivesP, Gatherv) {
+TEST_P(CollectivesP, GathervFromEveryRoot) {
   run([](Comm& comm) {
-    std::vector<std::int64_t> mine(static_cast<std::size_t>(comm.rank() % 3),
-                                   comm.rank());
-    auto parts = gatherv(
-        comm, std::span<const std::int64_t>(mine.data(), mine.size()), 0);
-    if (comm.rank() == 0) {
-      ASSERT_EQ(static_cast<int>(parts.size()), comm.size());
-      for (int i = 0; i < comm.size(); ++i) {
-        ASSERT_EQ(parts[static_cast<std::size_t>(i)].size(),
-                  static_cast<std::size_t>(i % 3));
-        for (auto v : parts[static_cast<std::size_t>(i)]) EXPECT_EQ(v, i);
+    for (int root = 0; root < std::min(comm.size(), 3); ++root) {
+      // Sizes vary by rank and include empty contributions (rank % 3 == 0).
+      std::vector<std::int64_t> mine(static_cast<std::size_t>(comm.rank() % 3),
+                                     comm.rank());
+      auto parts = gatherv(
+          comm, std::span<const std::int64_t>(mine.data(), mine.size()), root);
+      if (comm.rank() == root) {
+        ASSERT_EQ(parts.parts(), comm.size());
+        for (int i = 0; i < comm.size(); ++i) {
+          ASSERT_EQ(parts.size(i), i % 3);
+          for (auto v : parts.part(i)) EXPECT_EQ(v, i);
+        }
+        // One flat buffer in rank order.
+        EXPECT_EQ(parts.total(),
+                  static_cast<std::int64_t>(parts.flat().size()));
+      } else {
+        EXPECT_EQ(parts.parts(), 0);
+        EXPECT_EQ(parts.total(), 0);
       }
-    } else {
-      EXPECT_TRUE(parts.empty());
     }
   });
 }
@@ -100,11 +189,30 @@ TEST_P(CollectivesP, Allgatherv) {
     std::vector<std::int64_t> mine{comm.rank(), comm.rank() + 100};
     auto parts = allgatherv(
         comm, std::span<const std::int64_t>(mine.data(), mine.size()));
-    ASSERT_EQ(static_cast<int>(parts.size()), comm.size());
+    ASSERT_EQ(parts.parts(), comm.size());
     for (int i = 0; i < comm.size(); ++i) {
-      ASSERT_EQ(parts[static_cast<std::size_t>(i)].size(), 2u);
-      EXPECT_EQ(parts[static_cast<std::size_t>(i)][0], i);
-      EXPECT_EQ(parts[static_cast<std::size_t>(i)][1], i + 100);
+      ASSERT_EQ(parts.size(i), 2);
+      EXPECT_EQ(parts.part(i)[0], i);
+      EXPECT_EQ(parts.part(i)[1], i + 100);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllgathervWithEmptyContributions) {
+  run([](Comm& comm) {
+    // Only even ranks contribute.
+    std::vector<std::int64_t> mine;
+    if (comm.rank() % 2 == 0) mine = {comm.rank() * 7};
+    auto parts = allgatherv(
+        comm, std::span<const std::int64_t>(mine.data(), mine.size()));
+    ASSERT_EQ(parts.parts(), comm.size());
+    for (int i = 0; i < comm.size(); ++i) {
+      if (i % 2 == 0) {
+        ASSERT_EQ(parts.size(i), 1);
+        EXPECT_EQ(parts.part(i)[0], i * 7);
+      } else {
+        EXPECT_TRUE(parts.part(i).empty());
+      }
     }
   });
 }
@@ -149,22 +257,23 @@ TEST_P(AlltoallvSched, DeliversAllPayloads) {
   const auto [p, sched] = GetParam();
   Engine engine(p, MachineParams::supermuc_like(), 7);
   engine.run([&](Comm& comm) {
-    std::vector<std::vector<std::int64_t>> send(
-        static_cast<std::size_t>(comm.size()));
+    // Variable-size payloads, with some empty pairs, laid out flat in
+    // destination order.
+    std::vector<std::int64_t> sendbuf;
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(comm.size()));
     for (int i = 0; i < comm.size(); ++i) {
-      // Variable-size payloads, with some empty pairs.
       const int len = (comm.rank() + i) % 4;
-      for (int j = 0; j < len; ++j)
-        send[static_cast<std::size_t>(i)].push_back(comm.rank() * 100 + i);
+      counts[static_cast<std::size_t>(i)] = len;
+      for (int j = 0; j < len; ++j) sendbuf.push_back(comm.rank() * 100 + i);
     }
-    auto recv = alltoallv(comm, std::move(send), sched);
-    ASSERT_EQ(static_cast<int>(recv.size()), comm.size());
+    auto recv = alltoallv(
+        comm, std::span<const std::int64_t>(sendbuf.data(), sendbuf.size()),
+        std::span<const std::int64_t>(counts.data(), counts.size()), sched);
+    ASSERT_EQ(recv.parts(), comm.size());
     for (int i = 0; i < comm.size(); ++i) {
       const int len = (i + comm.rank()) % 4;
-      ASSERT_EQ(recv[static_cast<std::size_t>(i)].size(),
-                static_cast<std::size_t>(len));
-      for (auto v : recv[static_cast<std::size_t>(i)])
-        EXPECT_EQ(v, i * 100 + comm.rank());
+      ASSERT_EQ(recv.size(i), len);
+      for (auto v : recv.part(i)) EXPECT_EQ(v, i * 100 + comm.rank());
     }
   });
 }
@@ -182,9 +291,11 @@ TEST(Alltoallv, OneFactorOmitsEmptyMessages) {
   auto count_msgs = [&](Schedule sched) {
     Engine engine(p, MachineParams::supermuc_like(), 3);
     engine.run([&](Comm& comm) {
-      std::vector<std::vector<std::int64_t>> send(
-          static_cast<std::size_t>(p));
-      (void)alltoallv(comm, std::move(send), sched);
+      const std::vector<std::int64_t> counts(static_cast<std::size_t>(p), 0);
+      (void)alltoallv(comm, std::span<const std::int64_t>{},
+                      std::span<const std::int64_t>(counts.data(),
+                                                    counts.size()),
+                      sched);
     });
     return engine.report().max_messages_sent;
   };
@@ -204,23 +315,19 @@ TEST_P(CollectivesP, SparseExchangeRoutesMessages) {
     out.push_back({(comm.rank() + 1) % p, {comm.rank(), 2}});
     out.push_back({(comm.rank() + 2) % p, {comm.rank(), 3}});
     auto in = sparse_exchange(comm, out);
-    if (p == 1) {
-      ASSERT_EQ(in.size(), 3u);
-      return;
-    }
-    if (p == 2) {
-      // (rank+1)%2 and (rank+2)%2 overlap: 2 from the other + 1 from self.
-      ASSERT_EQ(in.size(), 3u);
-      return;
-    }
-    ASSERT_EQ(in.size(), 3u);
+    ASSERT_EQ(in.count(), 3);
+    ASSERT_EQ(static_cast<int>(in.srcs.size()), in.parts.parts());
+    if (p <= 2) return;  // destinations overlap below p=3
     int from_prev = 0, from_prev2 = 0;
-    for (const auto& [src, payload] : in) {
+    for (int i = 0; i < in.count(); ++i) {
+      const int src = in.srcs[static_cast<std::size_t>(i)];
+      const auto payload = in.parts.part(i);
       if (src == (comm.rank() - 1 + p) % p) {
         ++from_prev;
         EXPECT_EQ(payload[0], src);
       }
-      if (src == (comm.rank() - 2 + 2 * p) % p && payload[1] == 3) ++from_prev2;
+      if (src == (comm.rank() - 2 + 2 * p) % p && payload[1] == 3)
+        ++from_prev2;
     }
     EXPECT_EQ(from_prev, 2);
     EXPECT_EQ(from_prev2, 1);
@@ -242,6 +349,127 @@ TEST(SparseExchange, ChargesOnlyActualMessagesPlusBarrier) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesP,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
                                            32, 64));
+
+// ---------------------------------------------------------------------------
+// property: flat collectives match a naive p2p reference
+// ---------------------------------------------------------------------------
+
+/// Randomized sizes per (round, sender, dest); both the flat collective and
+/// a hand-rolled p2p reference run in the same program, and the results
+/// must agree exactly.
+class FlatVsP2P : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatVsP2P, GathervAndAllgatherv) {
+  const int p = GetParam();
+  Engine engine(p, MachineParams::supermuc_like(), 77);
+  engine.run([&](Comm& comm) {
+    for (int round = 0; round < 3; ++round) {
+      Xoshiro256 rng(500 + static_cast<std::uint64_t>(round),
+                     static_cast<std::uint64_t>(comm.rank()));
+      std::vector<std::int64_t> mine(rng.bounded(6));
+      for (auto& v : mine)
+        v = comm.rank() * 1000 + static_cast<std::int64_t>(rng.bounded(900));
+
+      // p2p reference: everyone sends to rank 0, rank 0 concatenates.
+      const std::uint64_t tag = comm.next_tag_block();
+      std::vector<std::int64_t> expect_flat;
+      std::vector<std::int64_t> expect_sizes;
+      comm.send<std::int64_t>(0, tag + static_cast<std::uint64_t>(comm.rank()),
+                              std::span<const std::int64_t>(mine));
+      if (comm.rank() == 0) {
+        for (int src = 0; src < p; ++src) {
+          const auto n = comm.recv_append<std::int64_t>(
+              src, tag + static_cast<std::uint64_t>(src), expect_flat);
+          expect_sizes.push_back(static_cast<std::int64_t>(n));
+        }
+      }
+
+      auto gathered = gatherv(
+          comm, std::span<const std::int64_t>(mine.data(), mine.size()), 0);
+      if (comm.rank() == 0) {
+        EXPECT_EQ(gathered.sizes(), expect_sizes);
+        EXPECT_TRUE(std::equal(gathered.flat().begin(), gathered.flat().end(),
+                               expect_flat.begin(), expect_flat.end()));
+      }
+
+      auto all = allgatherv(
+          comm, std::span<const std::int64_t>(mine.data(), mine.size()));
+      // Broadcast the reference from rank 0 and compare everywhere.
+      bcast(comm, expect_sizes, 0);
+      bcast(comm, expect_flat, 0);
+      EXPECT_EQ(all.sizes(), expect_sizes);
+      EXPECT_TRUE(std::equal(all.flat().begin(), all.flat().end(),
+                             expect_flat.begin(), expect_flat.end()));
+    }
+  });
+}
+
+TEST_P(FlatVsP2P, Alltoallv) {
+  const int p = GetParam();
+  Engine engine(p, MachineParams::supermuc_like(), 78);
+  engine.run([&](Comm& comm) {
+    for (Schedule sched : {Schedule::kDirect, Schedule::kOneFactor}) {
+      // Sizes depend only on (sender, dest), so receivers can rebuild them.
+      auto pair_size = [&](int from, int to) {
+        return static_cast<std::int64_t>(
+            mix64(static_cast<std::uint64_t>(from * 131 + to * 17 +
+                                             (sched == Schedule::kDirect))) %
+            5);
+      };
+      std::vector<std::int64_t> sendbuf;
+      std::vector<std::int64_t> counts(static_cast<std::size_t>(p));
+      for (int i = 0; i < p; ++i) {
+        counts[static_cast<std::size_t>(i)] = pair_size(comm.rank(), i);
+        for (std::int64_t j = 0; j < counts[static_cast<std::size_t>(i)]; ++j)
+          sendbuf.push_back(comm.rank() * 10000 + i * 10 + j);
+      }
+
+      // p2p reference: direct sends of every non-self pair.
+      const std::uint64_t tag = comm.next_tag_block();
+      std::vector<std::int64_t> send_off(static_cast<std::size_t>(p) + 1, 0);
+      for (int i = 0; i < p; ++i)
+        send_off[static_cast<std::size_t>(i) + 1] =
+            send_off[static_cast<std::size_t>(i)] +
+            counts[static_cast<std::size_t>(i)];
+      for (int i = 0; i < p; ++i) {
+        if (i == comm.rank()) continue;
+        comm.send<std::int64_t>(
+            i, tag + static_cast<std::uint64_t>(comm.rank()),
+            std::span<const std::int64_t>(
+                sendbuf.data() + send_off[static_cast<std::size_t>(i)],
+                static_cast<std::size_t>(counts[static_cast<std::size_t>(i)])));
+      }
+      std::vector<std::int64_t> expect_flat;
+      std::vector<std::int64_t> expect_sizes;
+      for (int src = 0; src < p; ++src) {
+        if (src == comm.rank()) {
+          expect_flat.insert(
+              expect_flat.end(),
+              sendbuf.begin() + send_off[static_cast<std::size_t>(src)],
+              sendbuf.begin() + send_off[static_cast<std::size_t>(src)] +
+                  counts[static_cast<std::size_t>(src)]);
+          expect_sizes.push_back(counts[static_cast<std::size_t>(src)]);
+        } else {
+          const auto n = comm.recv_append<std::int64_t>(
+              src, tag + static_cast<std::uint64_t>(src), expect_flat);
+          expect_sizes.push_back(static_cast<std::int64_t>(n));
+          EXPECT_EQ(static_cast<std::int64_t>(n),
+                    pair_size(src, comm.rank()));
+        }
+      }
+
+      auto recv = alltoallv(
+          comm, std::span<const std::int64_t>(sendbuf.data(), sendbuf.size()),
+          std::span<const std::int64_t>(counts.data(), counts.size()), sched);
+      EXPECT_EQ(recv.sizes(), expect_sizes);
+      EXPECT_TRUE(std::equal(recv.flat().begin(), recv.flat().end(),
+                             expect_flat.begin(), expect_flat.end()));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FlatVsP2P,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 31));
 
 }  // namespace
 }  // namespace pmps::coll

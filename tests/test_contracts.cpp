@@ -105,12 +105,14 @@ TEST(CommIsolation, SiblingCommunicatorsDoNotCrossTalk) {
     } else {
       // Group 1: alltoallv storms in the meantime.
       for (int i = 0; i < 5; ++i) {
-        std::vector<std::vector<std::int64_t>> send(4);
-        for (int d = 0; d < 4; ++d)
-          send[static_cast<std::size_t>(d)] = {sub.rank() * 10 + d};
-        auto recv = coll::alltoallv(sub, std::move(send));
+        std::vector<std::int64_t> sendbuf;
+        const std::vector<std::int64_t> counts(4, 1);
+        for (int d = 0; d < 4; ++d) sendbuf.push_back(sub.rank() * 10 + d);
+        auto recv = coll::alltoallv(
+            sub, std::span<const std::int64_t>(sendbuf.data(), sendbuf.size()),
+            std::span<const std::int64_t>(counts.data(), counts.size()));
         for (int s = 0; s < 4; ++s)
-          EXPECT_EQ(recv[static_cast<std::size_t>(s)][0], s * 10 + sub.rank());
+          EXPECT_EQ(recv.part(s)[0], s * 10 + sub.rank());
       }
     }
   });

@@ -8,6 +8,7 @@
 #include <functional>
 #include <mutex>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "coll/collectives.hpp"
@@ -68,7 +69,7 @@ DeliveryOutcome run_delivery(int p, int r, Algo algo, const PieceGen& gen,
     std::int64_t count = 0;
     std::uint64_t sum = 0;
     bool groups_ok = true;
-    for (const auto& run : runs) {
+    for (std::span<const std::uint64_t> run : runs) {
       for (auto v : run) {
         ++count;
         sum += v;
@@ -77,8 +78,7 @@ DeliveryOutcome run_delivery(int p, int r, Algo algo, const PieceGen& gen,
     }
     std::lock_guard lock(mu);
     out.received_per_pe[static_cast<std::size_t>(comm.rank())] = count;
-    out.runs_per_pe[static_cast<std::size_t>(comm.rank())] =
-        static_cast<std::int64_t>(runs.size());
+    out.runs_per_pe[static_cast<std::size_t>(comm.rank())] = runs.parts();
     out.content_sum_per_pe[static_cast<std::size_t>(comm.rank())] = sum;
     out.sent_content_sum += my_sum;
     out.total_sent += static_cast<std::int64_t>(data.size());
@@ -308,7 +308,7 @@ TEST(DeliverySortedRuns, FragmentsStaySorted) {
       auto runs = deliver(
           comm, std::span<const std::uint64_t>(data.data(), data.size()),
           sizes, algo, 3);
-      for (const auto& run : runs)
+      for (std::span<const std::uint64_t> run : runs)
         EXPECT_TRUE(std::is_sorted(run.begin(), run.end()));
     }
   });

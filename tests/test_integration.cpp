@@ -200,9 +200,8 @@ TEST(Integration, CollectivesCarryFatElements) {
     rec.key[0] = static_cast<std::uint8_t>(comm.rank());
     auto parts = coll::allgatherv(
         comm, std::span<const Record100>(&rec, 1));
-    ASSERT_EQ(parts.size(), 8u);
-    for (int i = 0; i < 8; ++i)
-      EXPECT_EQ(parts[static_cast<std::size_t>(i)][0].key[0], i);
+    ASSERT_EQ(parts.parts(), 8);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(parts.part(i)[0].key[0], i);
 
     // Sorted gossip of records.
     std::vector<Record100> mine{rec};

@@ -250,10 +250,13 @@ TEST(VirtualTime, HierarchyMattersForExchanges) {
       const bool mine = comm.rank() % stride == 0;
       net::Comm sub = comm.split(mine ? 0 : 1, comm.rank());
       if (!mine) return;
-      std::vector<std::vector<std::int64_t>> send(
-          static_cast<std::size_t>(sub.size()));
-      for (auto& s : send) s.assign(1000, 3);
-      (void)coll::alltoallv(sub, std::move(send));
+      const std::vector<std::int64_t> sendbuf(
+          static_cast<std::size_t>(sub.size()) * 1000, 3);
+      const std::vector<std::int64_t> counts(
+          static_cast<std::size_t>(sub.size()), 1000);
+      (void)coll::alltoallv(
+          sub, std::span<const std::int64_t>(sendbuf.data(), sendbuf.size()),
+          std::span<const std::int64_t>(counts.data(), counts.size()));
     });
     return engine.report().wall_time;
   };
