@@ -35,6 +35,7 @@
 #include "common/math.hpp"
 #include "common/types.hpp"
 #include "delivery/delivery.hpp"
+#include "em/external_merge.hpp"
 #include "fastsort/fast_rank_sort.hpp"
 #include "grouping/bucket_grouping.hpp"
 #include "net/comm.hpp"
@@ -57,6 +58,14 @@ struct AmsConfig {
   delivery::Algo delivery = delivery::Algo::kSimple;  ///< §7.1 default
   bool parallel_grouping = false;  ///< Appendix C parallel search
   std::uint64_t seed = 1;
+
+  /// Out-of-core switch (docs/EM.md): with a positive budget, stages whose
+  /// element payload exceeds it spill to run blocks on disk — delivered
+  /// pieces land in an em::RunStore and base-case local sorts become
+  /// run formation + external merge. Virtual time is identical to the
+  /// in-memory path, and so is the seeded output for unique-by-value keys
+  /// (value-identical otherwise; see memory_budget.hpp).
+  em::MemoryBudget budget;
 };
 
 /// Per-run diagnostics (identical on every PE).
@@ -75,11 +84,14 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   const auto& machine = comm.machine();
 
   if (comm.size() == 1 || level >= rs.size()) {
-    // Base case: sequential sort of the local data.
+    // Base case: sequential sort of the local data. Over budget it runs as
+    // run formation + external merge — same result, same virtual-time
+    // charge (spilling is host-side storage only, docs/EM.md).
     coll::barrier(comm);
     comm.set_phase(Phase::kLocalSort);
-    seq::local_sort(std::span<T>(data.data(), data.size()), less);
-    comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+    const std::int64_t n_local = static_cast<std::int64_t>(data.size());
+    em::local_sort_or_spill(data, cfg.budget, less);
+    comm.charge(machine.sort_cost(n_local));
     comm.set_phase(Phase::kOther);
     return;
   }
@@ -206,10 +218,13 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   // --- phase 3: data delivery ----------------------------------------------
   coll::barrier(comm);
   comm.set_phase(Phase::kDataDelivery);
-  auto runs = delivery::deliver(
-      comm, std::span<const T>(part.elements.data(), part.elements.size()),
-      piece_sizes, cfg.delivery, cfg.seed + level);
-  data = std::move(runs).take_flat();  // received runs, concatenated
+  // Over budget, incoming pieces land in run blocks instead of one
+  // in-memory FlatParts buffer (the pre-partition copy is released first,
+  // dropping the phase peak from ~3× to ~2× the local data); either way
+  // `data` becomes the received runs, concatenated.
+  std::vector<T>().swap(data);
+  data = delivery::deliver_flat(comm, part.elements, piece_sizes,
+                                cfg.delivery, cfg.seed + level, cfg.budget);
   comm.set_phase(Phase::kOther);
 
   // --- recurse --------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "delivery/delivery.hpp"
+#include "em/external_merge.hpp"
 #include "net/comm.hpp"
 #include "seq/partition.hpp"
 #include "seq/small_sort.hpp"
@@ -38,6 +39,7 @@ struct GvConfig {
   int levels = 2;
   double oversampling_a = 16;  ///< samples per splitter (no overpartitioning)
   std::uint64_t seed = 1;
+  em::MemoryBudget budget;  ///< out-of-core switch (docs/EM.md)
 };
 
 namespace detail {
@@ -51,8 +53,9 @@ void gv_level(net::Comm& comm, std::vector<T>& data, const GvConfig& cfg,
   if (comm.size() == 1 || level >= rs.size()) {
     coll::barrier(comm);
     comm.set_phase(Phase::kLocalSort);
-    seq::local_sort(std::span<T>(data.data(), data.size()), less);
-    comm.charge(machine.sort_cost(static_cast<std::int64_t>(data.size())));
+    const std::int64_t n_local = static_cast<std::int64_t>(data.size());
+    em::local_sort_or_spill(data, cfg.budget, less);
+    comm.charge(machine.sort_cost(n_local));
     comm.set_phase(Phase::kOther);
     return;
   }
@@ -108,10 +111,10 @@ void gv_level(net::Comm& comm, std::vector<T>& data, const GvConfig& cfg,
   // --- naive delivery --------------------------------------------------------
   coll::barrier(comm);
   comm.set_phase(Phase::kDataDelivery);
-  auto runs = delivery::deliver(
-      comm, std::span<const T>(part.elements.data(), part.elements.size()),
-      part.sizes, delivery::Algo::kSimple, cfg.seed + level);
-  data = std::move(runs).take_flat();
+  std::vector<T>().swap(data);
+  data = delivery::deliver_flat(comm, part.elements, part.sizes,
+                                delivery::Algo::kSimple, cfg.seed + level,
+                                cfg.budget);
   comm.set_phase(Phase::kOther);
 
   net::Comm sub = comm.split_consecutive(r);

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
@@ -375,9 +376,15 @@ std::vector<T> allgather_merge(Comm& comm, std::span<const T> local_sorted,
 // dense all-to-all of counts (Bruck) and irregular all-to-all of payloads
 // ---------------------------------------------------------------------------
 
-/// Alltoall of one int64 per pair using Bruck's algorithm: ⌈log2 p⌉ rounds
+/// Alltoall of one count per pair using Bruck's algorithm: ⌈log2 p⌉ rounds
 /// of ≤ p/2 entries each, i.e. Θ((α + βp) log p) instead of p startups.
 /// Returns recv[i] = the value rank i sent to us.
+///
+/// Counts travel as int32 on the wire — half the Θ(p) bytes per PE of the
+/// previous int64 format (this collective runs under every alltoallv and
+/// sparse exchange, so at large p the halving is visible in β terms).
+/// Values outside int32 range are a checked failure; the int64 signature is
+/// kept so callers stay unchanged. Wire-format note: docs/DESIGN.md §8.
 inline std::vector<std::int64_t> alltoall_counts(
     Comm& comm, const std::vector<std::int64_t>& send) {
   const int p = comm.size();
@@ -389,21 +396,26 @@ inline std::vector<std::int64_t> alltoall_counts(
   // Local rotation: tmp[j] = my value for dest (me + j) mod p. Position j
   // always holds data whose remaining travel distance has exactly the
   // not-yet-processed bits of j.
-  std::vector<std::int64_t> tmp(static_cast<std::size_t>(p));
-  for (int j = 0; j < p; ++j)
-    tmp[static_cast<std::size_t>(j)] =
-        send[static_cast<std::size_t>((me + j) % p)];
+  std::vector<std::int32_t> tmp(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    const std::int64_t v = send[static_cast<std::size_t>((me + j) % p)];
+    PMPS_CHECK_MSG(
+        v >= std::numeric_limits<std::int32_t>::min() &&
+            v <= std::numeric_limits<std::int32_t>::max(),
+        "alltoall_counts: value overflows the int32 wire format");
+    tmp[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(v);
+  }
 
-  std::vector<std::int64_t> block;
+  std::vector<std::int32_t> block;
   for (int k = 0, step = 1; step < p; ++k, step <<= 1) {
     block.clear();
     for (int j = 0; j < p; ++j)
       if ((j & step) != 0) block.push_back(tmp[static_cast<std::size_t>(j)]);
     const int to = (me + step) % p;
     const int from = (me - step + p) % p;
-    comm.send<std::int64_t>(to, tag + static_cast<std::uint64_t>(k),
-                            std::span<const std::int64_t>(block));
-    auto in = comm.recv<std::int64_t>(from, tag + static_cast<std::uint64_t>(k));
+    comm.send<std::int32_t>(to, tag + static_cast<std::uint64_t>(k),
+                            std::span<const std::int32_t>(block));
+    auto in = comm.recv<std::int32_t>(from, tag + static_cast<std::uint64_t>(k));
     std::size_t idx = 0;
     for (int j = 0; j < p; ++j)
       if ((j & step) != 0) tmp[static_cast<std::size_t>(j)] = in[idx++];
@@ -584,19 +596,19 @@ struct SparseIn {
   int count() const { return parts.parts(); }
 };
 
-/// Sparse all-to-all: each PE sends an arbitrary set of messages; receivers
-/// do not know the senders in advance. Mirrors the NBX algorithm (dynamic
-/// sparse data exchange): only the actual messages are charged, plus a
-/// Θ(α log p) termination-detection barrier. The sender/receiver sets are
-/// resolved out of band (uncharged), which is what NBX's speculative
-/// receive loop achieves on a real machine.
-///
-/// Every received payload is appended to one flat result buffer (no
-/// per-message vector), so the host-time cost is O(messages) appends plus
-/// O(1) allocations.
-template <Sortable T>
-SparseIn<T> sparse_exchange(Comm& comm,
-                            const std::vector<OutMessage<T>>& outgoing) {
+/// Sink-parameterised sparse all-to-all: identical message sequence (and
+/// therefore identical virtual time) to sparse_exchange, but every received
+/// payload is handed to `sink(src_rank, std::span<const T>)` in the
+/// deterministic receive order — ascending source rank, send order within a
+/// source — instead of being appended to one in-memory result buffer. The
+/// payload span is only valid during the sink call; afterwards the buffer
+/// returns to the engine's pool. The out-of-core delivery path
+/// (delivery::deliver_into + em::run_sink) uses this to land incoming
+/// pieces directly into run blocks on disk.
+template <Sortable T, typename Sink>
+void sparse_exchange_into(Comm& comm,
+                          const std::vector<OutMessage<T>>& outgoing,
+                          Sink&& sink) {
   const int p = comm.size();
   const std::uint64_t tag = comm.next_tag_block();
 
@@ -618,21 +630,47 @@ SparseIn<T> sparse_exchange(Comm& comm,
     comm.send<T>(m.dest_rank, tag + k, std::span<const T>(m.data));
   }
 
-  SparseIn<T> in;
-  std::vector<T> flat;
-  std::vector<std::int64_t> offsets{0};
   for (int src = 0; src < p; ++src) {
     for (std::int64_t k = 0; k < in_count[static_cast<std::size_t>(src)];
          ++k) {
-      comm.recv_append<T>(src, tag + static_cast<std::uint64_t>(k), flat);
-      offsets.push_back(static_cast<std::int64_t>(flat.size()));
-      in.srcs.push_back(src);
+      net::Message m = comm.recv_bytes(src, tag + static_cast<std::uint64_t>(k));
+      PMPS_CHECK(m.payload.size() % sizeof(T) == 0);
+      sink(src,
+           std::span<const T>(reinterpret_cast<const T*>(m.payload.data()),
+                              m.payload.size() / sizeof(T)));
+      comm.release_payload(std::move(m));
     }
   }
-  in.parts = FlatParts<T>(std::move(flat), std::move(offsets));
 
   // Termination detection (NBX ibarrier), charged.
   barrier(comm);
+}
+
+/// Sparse all-to-all: each PE sends an arbitrary set of messages; receivers
+/// do not know the senders in advance. Mirrors the NBX algorithm (dynamic
+/// sparse data exchange): only the actual messages are charged, plus a
+/// Θ(α log p) termination-detection barrier. The sender/receiver sets are
+/// resolved out of band (uncharged), which is what NBX's speculative
+/// receive loop achieves on a real machine.
+///
+/// Every received payload is appended to one flat result buffer (no
+/// per-message vector), so the host-time cost is O(messages) appends plus
+/// O(1) allocations. (This is sparse_exchange_into with the flat-buffer
+/// sink.)
+template <Sortable T>
+SparseIn<T> sparse_exchange(Comm& comm,
+                            const std::vector<OutMessage<T>>& outgoing) {
+  SparseIn<T> in;
+  std::vector<T> flat;
+  std::vector<std::int64_t> offsets{0};
+  sparse_exchange_into<T>(comm, outgoing,
+                          [&](int src, std::span<const T> piece) {
+                            flat.insert(flat.end(), piece.begin(), piece.end());
+                            offsets.push_back(
+                                static_cast<std::int64_t>(flat.size()));
+                            in.srcs.push_back(src);
+                          });
+  in.parts = FlatParts<T>(std::move(flat), std::move(offsets));
   return in;
 }
 

@@ -50,15 +50,21 @@ class FlatParts {
     return FlatParts(std::move(flat), std::move(offsets));
   }
 
+  /// Number of parts (one per contributing rank/message).
   int parts() const { return static_cast<int>(offsets_.size()) - 1; }
+
+  /// Total element count across all parts (== flat().size()).
   std::int64_t total() const { return offsets_.back(); }
 
+  /// Element count of part `i`.
   std::int64_t size(int i) const {
     PMPS_ASSERT(i >= 0 && i < parts());
     return offsets_[static_cast<std::size_t>(i) + 1] -
            offsets_[static_cast<std::size_t>(i)];
   }
 
+  /// Zero-copy span view of part `i` (valid while this object lives and
+  /// take_flat() has not been called).
   std::span<const T> part(int i) const {
     PMPS_ASSERT(i >= 0 && i < parts());
     return {flat_.data() + offsets_[static_cast<std::size_t>(i)],
@@ -68,8 +74,11 @@ class FlatParts {
   /// The whole buffer: all parts concatenated in part order.
   std::span<const T> flat() const { return {flat_.data(), flat_.size()}; }
 
+  /// The parts+1 offsets (leading 0, non-decreasing, last == total()) —
+  /// MPI's displacements array.
   const std::vector<std::int64_t>& offsets() const { return offsets_; }
 
+  /// Per-part element counts as a fresh vector — MPI's counts array.
   std::vector<std::int64_t> sizes() const {
     std::vector<std::int64_t> s(static_cast<std::size_t>(parts()));
     for (int i = 0; i < parts(); ++i) s[static_cast<std::size_t>(i)] = size(i);

@@ -42,11 +42,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "coll/collectives.hpp"
 #include "common/check.hpp"
 #include "common/math.hpp"
+#include "em/run_store.hpp"
 #include "net/comm.hpp"
 #include "prng/feistel.hpp"
 
@@ -130,6 +132,14 @@ coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
                            const std::vector<std::int64_t>& piece_sizes,
                            Algo algo, std::uint64_t seed = 1);
 
+// Every algorithm below is a *planner*: it runs the algorithm's control
+// communication (prefix sums, descriptor exchanges, delegations) and
+// returns the outgoing data messages. deliver() ships them with
+// coll::sparse_exchange; deliver_into() ships the identical messages but
+// lands every received piece in a caller-provided sink (the out-of-core
+// path stores them as run blocks, src/em) — same message sequence, same
+// virtual time, different host-side storage.
+
 // ---------------------------------------------------------------------------
 // simple & randomized
 // ---------------------------------------------------------------------------
@@ -139,7 +149,7 @@ coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
 /// at a global position in its group's stream; chunk boundaries map
 /// positions to receivers. O(2r) sends per PE.
 template <typename T>
-coll::FlatParts<T> deliver_simple_impl(
+std::vector<coll::OutMessage<T>> plan_simple_impl(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes, bool permute_senders,
     std::uint64_t seed) {
@@ -174,7 +184,7 @@ coll::FlatParts<T> deliver_simple_impl(
         p_prime, out);
   }
 
-  return coll::sparse_exchange(comm, out).parts;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -203,7 +213,7 @@ struct FragmentAssign {
 /// ≤ r per receiver; large pieces fill the residual capacities. Every
 /// receiver gets O(r) messages regardless of the piece-size distribution.
 template <typename T>
-coll::FlatParts<T> deliver_deterministic(
+std::vector<coll::OutMessage<T>> plan_deterministic(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes) {
   using detail::PieceDesc;
@@ -350,7 +360,7 @@ coll::FlatParts<T> deliver_deterministic(
         f.dest, std::vector<T>(data.begin() + base,
                                data.begin() + base + f.len)});
   }
-  return coll::sparse_exchange(comm, out).parts;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -380,7 +390,7 @@ struct RangeReply {
 /// that whp no receiver sees more than O(r) messages, without the barrier
 /// structure of the deterministic scheme.
 template <typename T>
-coll::FlatParts<T> deliver_advanced(
+std::vector<coll::OutMessage<T>> plan_advanced(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes, std::uint64_t seed) {
   using detail::Delegation;
@@ -498,32 +508,79 @@ coll::FlatParts<T> deliver_advanced(
   for (const auto& rr : my_small_ranges) emit(rr);
   for (const auto& rr : range_replies.parts.flat()) emit(rr);
 
-  return coll::sparse_exchange(comm, out).parts;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
 // dispatcher
 // ---------------------------------------------------------------------------
 
+/// Runs the chosen algorithm's planning communication and returns the
+/// outgoing data messages (collective; every PE must call it).
 template <typename T>
-coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
-                           const std::vector<std::int64_t>& piece_sizes,
-                           Algo algo, std::uint64_t seed) {
+std::vector<coll::OutMessage<T>> plan_delivery(
+    Comm& comm, std::span<const T> data,
+    const std::vector<std::int64_t>& piece_sizes, Algo algo,
+    std::uint64_t seed) {
   std::int64_t sum = 0;
   for (auto v : piece_sizes) sum += v;
   PMPS_CHECK(sum == static_cast<std::int64_t>(data.size()));
   switch (algo) {
     case Algo::kSimple:
-      return deliver_simple_impl(comm, data, piece_sizes, false, seed);
+      return plan_simple_impl(comm, data, piece_sizes, false, seed);
     case Algo::kRandomized:
-      return deliver_simple_impl(comm, data, piece_sizes, true, seed);
+      return plan_simple_impl(comm, data, piece_sizes, true, seed);
     case Algo::kDeterministic:
-      return deliver_deterministic(comm, data, piece_sizes);
+      return plan_deterministic(comm, data, piece_sizes);
     case Algo::kAdvancedRandomized:
-      return deliver_advanced(comm, data, piece_sizes, seed);
+      return plan_advanced(comm, data, piece_sizes, seed);
   }
   PMPS_CHECK(false);
   return {};
+}
+
+template <typename T>
+coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
+                           const std::vector<std::int64_t>& piece_sizes,
+                           Algo algo, std::uint64_t seed) {
+  return coll::sparse_exchange(comm,
+                               plan_delivery(comm, data, piece_sizes, algo,
+                                             seed))
+      .parts;
+}
+
+/// Spill-mode entry: identical planning and message sequence to deliver(),
+/// but each received piece is handed to `sink(src_rank, span)` in receive
+/// order instead of being assembled into one FlatParts buffer. With
+/// em::run_sink the pieces land directly in run blocks on disk; the
+/// sorters' out-of-core paths (docs/EM.md) go through here.
+template <typename T, typename Sink>
+void deliver_into(Comm& comm, std::span<const T> data,
+                  const std::vector<std::int64_t>& piece_sizes, Algo algo,
+                  std::uint64_t seed, Sink&& sink) {
+  coll::sparse_exchange_into(
+      comm, plan_delivery(comm, data, piece_sizes, algo, seed),
+      std::forward<Sink>(sink));
+}
+
+/// Delivery for sorters that consume the received runs *concatenated*
+/// (AMS, GV): returns the concatenation, landing the pieces in run blocks
+/// first whenever `source` exceeds the budget — in that case `source` is
+/// released before the read-back, bounding the phase's peak. Both branches
+/// exchange identical messages and return identical bytes.
+template <typename T>
+std::vector<T> deliver_flat(Comm& comm, std::vector<T>& source,
+                            const std::vector<std::int64_t>& piece_sizes,
+                            Algo algo, std::uint64_t seed,
+                            const em::MemoryBudget& budget) {
+  const std::span<const T> data(source.data(), source.size());
+  if (budget.should_spill(static_cast<std::int64_t>(data.size_bytes()))) {
+    em::RunStore<T> store(budget);
+    deliver_into(comm, data, piece_sizes, algo, seed, em::run_sink(store));
+    std::vector<T>().swap(source);
+    return store.take_all();
+  }
+  return std::move(deliver(comm, data, piece_sizes, algo, seed)).take_flat();
 }
 
 }  // namespace pmps::delivery

@@ -1,0 +1,105 @@
+// BlockFile: fixed-size-block temporary storage for spilled runs.
+//
+// One BlockFile per RunStore (i.e. per PE and spill site). Storage is an
+// anonymous temporary file (std::tmpfile — unlinked on creation, reclaimed
+// by the OS even on abnormal exit), addressed in fixed-size block slots:
+// slot k lives at byte offset k·block_bytes. A partial block (the tail of a
+// run) still occupies a full slot; only its actual bytes are written and
+// read, and the owner (RunStore) knows every block's true length from the
+// run metadata, so no per-block size header is stored.
+//
+// The file is created lazily on the first append, so a RunStore that never
+// spills costs no file descriptor. All I/O is counted in the attached
+// SpillStats (bytes and block operations) — that accounting is what
+// bench/em_scale.cpp reports as bytes spilled vs. memory budget.
+//
+// Descriptor budget: stores are phase-scoped, but the engine is
+// bulk-synchronous, so up to p spilling PEs hold a file at once; creation
+// aborts with a clear message when the fd limit is hit. Budgeted sorts at
+// p beyond RLIMIT_NOFILE need a raised limit or the shared-spill-file
+// extension noted in docs/EM.md (future work).
+//
+// Access is single-owner: a PE's fiber is the only caller (fibers migrate
+// across worker threads but run one at a time), so no locking is needed —
+// unlike net::BufferPool, which is shared by all PEs of an engine.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+
+#include "common/check.hpp"
+#include "em/memory_budget.hpp"
+
+namespace pmps::em {
+
+class BlockFile {
+ public:
+  explicit BlockFile(std::int64_t block_bytes, SpillStats* stats = nullptr)
+      : block_bytes_(block_bytes), stats_(stats) {
+    PMPS_CHECK(block_bytes_ > 0);
+  }
+
+  ~BlockFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  std::int64_t block_bytes() const { return block_bytes_; }
+
+  /// Number of block slots appended so far.
+  std::int64_t blocks() const { return next_slot_; }
+
+  /// Writes `data` (≤ block_bytes) into the next slot; returns its index.
+  std::int64_t append(std::span<const std::byte> data) {
+    PMPS_CHECK(static_cast<std::int64_t>(data.size()) <= block_bytes_);
+    if (file_ == nullptr) {
+      file_ = std::tmpfile();
+      PMPS_CHECK_MSG(file_ != nullptr, "cannot create spill file");
+    }
+    const std::int64_t slot = next_slot_++;
+    seek(slot);
+    if (!data.empty()) {
+      const std::size_t wrote =
+          std::fwrite(data.data(), 1, data.size(), file_);
+      PMPS_CHECK_MSG(wrote == data.size(), "spill write failed");
+    }
+    if (stats_ != nullptr)
+      stats_->count_write(static_cast<std::int64_t>(data.size()));
+    return slot;
+  }
+
+  /// Reads back the first `out.size()` bytes of slot `slot` (the caller
+  /// knows the block's true length from its run metadata).
+  void read(std::int64_t slot, std::span<std::byte> out) {
+    PMPS_CHECK(slot >= 0 && slot < next_slot_);
+    PMPS_CHECK(static_cast<std::int64_t>(out.size()) <= block_bytes_);
+    if (out.empty()) return;
+    seek(slot);
+    const std::size_t got = std::fread(out.data(), 1, out.size(), file_);
+    PMPS_CHECK_MSG(got == out.size(), "spill read failed");
+    if (stats_ != nullptr)
+      stats_->count_read(static_cast<std::int64_t>(out.size()));
+  }
+
+ private:
+  void seek(std::int64_t slot) {
+    const std::int64_t off = slot * block_bytes_;
+    // std::fseek takes long, 64-bit on LP64 but 32-bit elsewhere
+    // (LLP64/32-bit builds): refuse offsets the platform cannot address
+    // rather than silently truncating into another block's slot.
+    PMPS_CHECK_MSG(static_cast<std::int64_t>(static_cast<long>(off)) == off,
+                   "spill file offset overflows long on this platform");
+    PMPS_CHECK(std::fseek(file_, static_cast<long>(off), SEEK_SET) == 0);
+  }
+
+  std::int64_t block_bytes_;
+  SpillStats* stats_;
+  std::FILE* file_ = nullptr;  ///< lazily created; anonymous (pre-unlinked)
+  std::int64_t next_slot_ = 0;
+};
+
+}  // namespace pmps::em

@@ -1,0 +1,105 @@
+// External k-way merge and out-of-core local sort.
+//
+// merge_runs() merges every run of a RunStore in one pass with the existing
+// seq::LoserTree, fed block-granular windows by RunCursor refill callbacks:
+// the tree starts from each run's first block and, whenever a run's window
+// is consumed, pulls the next block from its cursor — so the merge holds
+// k block buffers (k = fan-in) instead of k whole runs. Stability matches
+// the in-memory seq::multiway_merge exactly (ties break by run index), so
+// spill-mode merges are bit-identical to their in-memory counterparts.
+//
+// external_sort() is classic run formation + merge (cf. the external
+// merge-sort exemplars behind the sort-benchmark systems of §3/§7.3):
+// budget-sized chunks are sorted with seq::local_sort and spilled as runs,
+// then merged back. For unique-by-value keys (the harness's uint64
+// workloads) the result is bit-identical to sorting in memory.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "em/run_cursor.hpp"
+#include "em/run_store.hpp"
+#include "seq/multiway_merge.hpp"
+#include "seq/small_sort.hpp"
+
+namespace pmps::em {
+
+/// Merges all runs of `store` into one sorted vector with a loser tree over
+/// block-granular run windows; O(N log k) comparisons, k block buffers of
+/// working memory (plus the output).
+template <Sortable T, typename Less = std::less<T>>
+std::vector<T> merge_runs(RunStore<T>& store, Less less = {}) {
+  const int k = store.runs();
+  std::vector<T> out(static_cast<std::size_t>(store.total()));
+  if (k == 0 || store.total() == 0) return out;
+  if (store.stats() != nullptr) store.stats()->count_external_merge();
+
+  std::vector<RunCursor<T>> cursors;
+  cursors.reserve(static_cast<std::size_t>(k));
+  std::vector<std::span<const T>> windows(static_cast<std::size_t>(k));
+  std::vector<std::int64_t> totals(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    cursors.emplace_back(&store, r);
+    windows[static_cast<std::size_t>(r)] =
+        cursors[static_cast<std::size_t>(r)].next_window();
+    totals[static_cast<std::size_t>(r)] = store.run_size(r);
+  }
+
+  seq::LoserTree<T, Less> tree(
+      std::span<const std::span<const T>>(windows.data(), windows.size()),
+      std::span<const std::int64_t>(totals.data(), totals.size()),
+      [&cursors](int run) {
+        return cursors[static_cast<std::size_t>(run)].next_window();
+      },
+      less);
+  tree.pop_bulk(std::span<T>(out.data(), out.size()));
+  PMPS_CHECK(tree.empty());
+  return out;
+}
+
+/// Out-of-core replacement for seq::local_sort when `data` exceeds the
+/// budget: sorts budget-sized chunks, spills each as a run, releases the
+/// input, and external-merges the runs back. The caller charges the same
+/// virtual-time sort cost as for the in-memory sort — spilling is
+/// host-side storage only (docs/EM.md).
+template <Sortable T, typename Less = std::less<T>>
+void external_sort(std::vector<T>& data, const MemoryBudget& budget,
+                   Less less = {}) {
+  PMPS_CHECK(budget.enabled());
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  const std::int64_t run_elems = std::max<std::int64_t>(
+      1, budget.bytes / static_cast<std::int64_t>(sizeof(T)));
+
+  RunStore<T> store(budget);
+  for (std::int64_t off = 0; off < n; off += run_elems) {
+    const std::int64_t len = std::min(run_elems, n - off);
+    std::span<T> chunk(data.data() + off, static_cast<std::size_t>(len));
+    seq::local_sort(chunk, less);
+    store.append_run(chunk);
+  }
+  std::vector<T>().swap(data);  // release before the merge materialises out
+  if (budget.stats != nullptr) budget.stats->count_external_sort();
+  data = merge_runs(store, less);
+}
+
+/// The sorters' base-case local sort: external_sort when `data` exceeds
+/// the budget, seq::local_sort otherwise. Virtual-time charges are the
+/// caller's and identical either way (spilling is host-side only).
+template <Sortable T, typename Less = std::less<T>>
+void local_sort_or_spill(std::vector<T>& data, const MemoryBudget& budget,
+                         Less less = {}) {
+  if (budget.should_spill(static_cast<std::int64_t>(data.size()) *
+                          static_cast<std::int64_t>(sizeof(T)))) {
+    external_sort(data, budget, less);
+  } else {
+    seq::local_sort(std::span<T>(data.data(), data.size()), less);
+  }
+}
+
+}  // namespace pmps::em

@@ -1,0 +1,147 @@
+// RunStore: a per-PE collection of spilled runs, stored in fixed-size
+// blocks of a BlockFile.
+//
+// A *run* is one contiguous sequence of elements appended in a single call
+// — in RLM-sort's spill path each delivered piece (already sorted by the
+// sender) is one run; in external_sort each budget-sized locally sorted
+// chunk is one run. Runs are numbered in append order, which for the
+// delivery sink is exactly the deterministic receive order of
+// coll::sparse_exchange — the same order the in-memory FlatParts parts
+// appear in, so the external merge sees the identical run sequence and
+// tie-breaks identically.
+//
+// A run's blocks occupy consecutive slots of the file; per-block lengths
+// are derived from the run length (all blocks full except possibly the
+// last), so run metadata is just (first slot, element count).
+//
+// Read-side block buffers are recycled through a free list (the
+// net::BufferPool pattern, single-owner so lock-free here): a RunCursor
+// acquires one block buffer for its lifetime and releases it on
+// destruction, so a k-way external merge holds exactly k block buffers
+// regardless of run lengths.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "em/block_file.hpp"
+#include "em/memory_budget.hpp"
+
+namespace pmps::em {
+
+template <Sortable T>
+class RunStore {
+ public:
+  explicit RunStore(const MemoryBudget& budget)
+      : stats_(budget.stats),
+        elems_per_block_(std::max<std::int64_t>(
+            1, budget.block_bytes / static_cast<std::int64_t>(sizeof(T)))),
+        file_(elems_per_block_ * static_cast<std::int64_t>(sizeof(T)),
+              budget.stats) {}
+
+  std::int64_t elems_per_block() const { return elems_per_block_; }
+  SpillStats* stats() const { return stats_; }
+  int runs() const { return static_cast<int>(runs_.size()); }
+
+  std::int64_t run_size(int run) const {
+    PMPS_ASSERT(run >= 0 && run < runs());
+    return runs_[static_cast<std::size_t>(run)].n;
+  }
+
+  /// Total elements across all runs.
+  std::int64_t total() const { return total_; }
+
+  /// Appends `elems` as one new run, writing it out block by block
+  /// (directly from the source span — no staging copy). Empty runs are
+  /// legal and occupy no blocks.
+  void append_run(std::span<const T> elems) {
+    const std::int64_t n = static_cast<std::int64_t>(elems.size());
+    runs_.push_back(RunMeta{file_.blocks(), n});
+    total_ += n;
+    for (std::int64_t off = 0; off < n; off += elems_per_block_) {
+      const std::int64_t len = std::min(elems_per_block_, n - off);
+      file_.append(std::as_bytes(
+          elems.subspan(static_cast<std::size_t>(off),
+                        static_cast<std::size_t>(len))));
+    }
+    if (stats_ != nullptr) stats_->count_run();
+  }
+
+  /// Reads block `block` of run `run` into `out`, which must be sized to
+  /// the block's exact length (elems_per_block, except a shorter tail).
+  void read_block(int run, std::int64_t block, std::span<T> out) {
+    PMPS_ASSERT(run >= 0 && run < runs());
+    const RunMeta& m = runs_[static_cast<std::size_t>(run)];
+    PMPS_ASSERT(block >= 0 && block * elems_per_block_ < m.n);
+    PMPS_ASSERT(static_cast<std::int64_t>(out.size()) ==
+                std::min(elems_per_block_, m.n - block * elems_per_block_));
+    file_.read(m.first_slot + block, std::as_writable_bytes(out));
+  }
+
+  /// Reads every run back, concatenated in run order — the spill-mode
+  /// equivalent of FlatParts::take_flat() on the delivered parts.
+  std::vector<T> take_all() {
+    std::vector<T> out(static_cast<std::size_t>(total_));
+    std::int64_t off = 0;
+    for (int r = 0; r < runs(); ++r) {
+      const std::int64_t n = run_size(r);
+      for (std::int64_t b = 0; b * elems_per_block_ < n; ++b) {
+        const std::int64_t len =
+            std::min(elems_per_block_, n - b * elems_per_block_);
+        read_block(r, b,
+                   std::span<T>(out.data() + off, static_cast<std::size_t>(len)));
+        off += len;
+      }
+    }
+    PMPS_CHECK(off == total_);
+    return out;
+  }
+
+  /// Hands out a block-sized read buffer from the free list (RunCursor
+  /// holds one for its lifetime).
+  std::vector<T> acquire_buffer() {
+    if (free_buffers_.empty())
+      return std::vector<T>(static_cast<std::size_t>(elems_per_block_));
+    std::vector<T> buf = std::move(free_buffers_.back());
+    free_buffers_.pop_back();
+    return buf;
+  }
+
+  /// Returns a read buffer to the free list (moved-from buffers are
+  /// ignored, mirroring net::BufferPool::release).
+  void release_buffer(std::vector<T>&& buf) {
+    if (buf.capacity() == 0) return;
+    free_buffers_.push_back(std::move(buf));
+  }
+
+ private:
+  struct RunMeta {
+    std::int64_t first_slot;  ///< first block slot in the file
+    std::int64_t n;           ///< elements in the run
+  };
+
+  SpillStats* stats_;
+  std::int64_t elems_per_block_;
+  BlockFile file_;
+  std::vector<RunMeta> runs_;
+  std::int64_t total_ = 0;
+  std::vector<std::vector<T>> free_buffers_;
+};
+
+/// Sink adapter for coll::sparse_exchange_into / delivery::deliver_into:
+/// lands every received piece as one run, in receive order — "delivery
+/// landing incoming pieces directly into run blocks".
+template <Sortable T>
+auto run_sink(RunStore<T>& store) {
+  return [&store](int /*src_rank*/, std::span<const T> piece) {
+    store.append_run(piece);
+  };
+}
+
+}  // namespace pmps::em

@@ -13,6 +13,7 @@
 #include "baseline/gv_sample_sort.hpp"
 #include "baseline/hypercube_quicksort.hpp"
 #include "baseline/single_level.hpp"
+#include "em/memory_budget.hpp"
 #include "harness/verify.hpp"
 #include "harness/workloads.hpp"
 #include "net/engine.hpp"
@@ -55,6 +56,10 @@ struct RunConfig {
   /// Execution backend (fibers by default; kThreads for differential runs).
   net::EngineBackend backend = net::EngineBackend::kAuto;
 
+  /// Per-PE element-storage budget (0 = in-memory). Applies to the AMS,
+  /// RLM, and GV sorters; spill counters are reported in RunResult::spill.
+  em::MemoryBudget budget;
+
   ams::AmsConfig ams;            ///< used when algorithm == kAms
   rlm::RlmConfig rlm;            ///< used when algorithm == kRlm
   baseline::SingleLevelConfig single;  ///< used for the 1-level baselines
@@ -63,7 +68,8 @@ struct RunConfig {
 struct RunResult {
   net::RunReport report;
   SortCheck check;
-  ams::AmsStats ams_stats;  ///< only for kAms
+  ams::AmsStats ams_stats;   ///< only for kAms
+  em::SpillTotals spill;     ///< out-of-core I/O counters (all-zero in memory)
 
   double wall_time() const { return report.wall_time; }
   double phase(net::Phase p) const { return report.phase(p); }
@@ -74,6 +80,12 @@ inline RunResult run_sort_experiment(const RunConfig& cfg) {
   net::Engine engine(cfg.p, cfg.machine, cfg.seed, cfg.backend);
   RunResult result;
   std::mutex mu;
+
+  // Shared spill counters for this run (cfg.budget.stats, if the caller set
+  // one, is superseded so RunResult::spill is always this run's totals).
+  em::SpillStats spill_stats;
+  em::MemoryBudget budget = cfg.budget;
+  budget.stats = &spill_stats;
 
   engine.run([&](net::Comm& comm) {
     auto data = make_workload(cfg.workload, comm.rank(), cfg.p, cfg.n_per_pe,
@@ -87,12 +99,14 @@ inline RunResult run_sort_experiment(const RunConfig& cfg) {
       case Algorithm::kAms: {
         auto a = cfg.ams;
         a.seed = cfg.seed;
+        a.budget = budget;
         stats = ams::ams_sort(comm, data, a);
         break;
       }
       case Algorithm::kRlm: {
         auto r = cfg.rlm;
         r.seed = cfg.seed;
+        r.budget = budget;
         rlm::rlm_sort(comm, data, r);
         break;
       }
@@ -109,6 +123,7 @@ inline RunResult run_sort_experiment(const RunConfig& cfg) {
         baseline::GvConfig g;
         g.levels = cfg.ams.levels;
         g.seed = cfg.seed;
+        g.budget = budget;
         baseline::gv_sample_sort(comm, data, g);
         break;
       }
@@ -134,6 +149,7 @@ inline RunResult run_sort_experiment(const RunConfig& cfg) {
   });
 
   result.report = engine.report();
+  result.spill = spill_stats.totals();
   return result;
 }
 

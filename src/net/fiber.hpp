@@ -45,11 +45,20 @@ bool fibers_supported();
 
 #if PMPS_HAS_FIBERS
 
+/// Fixed pool of worker threads executing cooperatively scheduled stackful
+/// fibers — the engine's default backend (PMPS_ENGINE=fibers). One pool
+/// per Engine; run() maps each simulated PE onto one fiber. Fibers, their
+/// guard-paged stacks, and the workers are reused across run() calls.
+/// Design and the blocking protocol: file comment above and
+/// docs/DESIGN.md §6.
 class FiberPool {
  public:
   /// `num_workers` OS threads; each fiber gets `stack_bytes` of lazily
   /// committed stack plus an inaccessible guard page.
   FiberPool(int num_workers, std::size_t stack_bytes);
+
+  /// Joins the workers and unmaps all fiber stacks. Must not be called
+  /// while a run() is in flight.
   ~FiberPool();
 
   FiberPool(const FiberPool&) = delete;
@@ -80,6 +89,8 @@ class FiberPool {
   /// message depositor after consuming the wait registration.
   void wake(int index);
 
+  /// Worker-thread count the pool was built with (PMPS_FIBER_WORKERS or
+  /// the hardware concurrency).
   int num_workers() const { return num_workers_; }
 
   struct Fiber;  ///< implementation detail (fiber.cpp); opaque to callers

@@ -31,12 +31,17 @@
 
 namespace pmps::net {
 
+/// One simulated in-flight message: the matching triple (communicator,
+/// tag, source), the virtual arrival time, and the raw payload bytes.
+/// Payload buffers are recycled through the engine's BufferPool — a
+/// receiver that consumed the payload hands the buffer back via
+/// Comm::release_payload.
 struct Message {
-  std::uint64_t comm_id = 0;
-  std::uint64_t tag = 0;
-  int src_pe = -1;        ///< global PE id of the sender
+  std::uint64_t comm_id = 0;  ///< owning communicator (part of the match key)
+  std::uint64_t tag = 0;      ///< tag within the communicator (match key)
+  int src_pe = -1;            ///< global PE id of the sender (match key)
   double arrival = 0;     ///< earliest virtual time the payload is available
-  std::vector<std::byte> payload;
+  std::vector<std::byte> payload;  ///< raw bytes; pooled, see BufferPool
 };
 
 /// Free-list of message payload buffers, shared by all PEs of an engine.
@@ -56,6 +61,9 @@ struct Message {
 /// simply frees.
 class BufferPool {
  public:
+  /// Returns a recycled buffer (empty, capacity retained) or a fresh empty
+  /// vector when the free list is dry. Thread-safe: senders on any PE call
+  /// this concurrently.
   std::vector<std::byte> acquire() {
     std::lock_guard lock(mu_);
     if (free_.empty()) return {};
@@ -64,6 +72,9 @@ class BufferPool {
     return buf;
   }
 
+  /// Returns a drained payload buffer to the free list (cleared, capacity
+  /// kept). Buffers beyond the retention cap — and moved-from husks with
+  /// no capacity — are simply dropped.
   void release(std::vector<std::byte>&& buf) {
     if (buf.capacity() == 0) return;
     buf.clear();
@@ -77,7 +88,9 @@ class BufferPool {
   std::vector<std::vector<std::byte>> free_;
 };
 
-/// Matching key for point-to-point messages.
+/// Matching key for point-to-point messages — the (communicator, tag,
+/// source) triple a receiver names in recv(). Tag blocks are allocated in
+/// SPMD lockstep (Comm::next_tag_block), so a key is never ambiguous.
 struct MsgKey {
   std::uint64_t comm_id = 0;
   std::uint64_t tag = 0;
@@ -86,6 +99,7 @@ struct MsgKey {
   friend bool operator==(const MsgKey&, const MsgKey&) = default;
 };
 
+/// Hash for the mailbox's per-key queues (mix64 over the triple).
 struct MsgKeyHash {
   std::size_t operator()(const MsgKey& k) const {
     std::uint64_t h = mix64(k.comm_id ^ (k.tag * 0x9e3779b97f4a7c15ULL));
@@ -94,6 +108,11 @@ struct MsgKeyHash {
   }
 };
 
+/// One PE's delivery endpoint: per-key FIFO queues behind one mutex, with
+/// a single registered consumer (the owning PE) and targeted wakeups. Any
+/// PE may deposit(); only the owner retrieves. The two retrieve flavours
+/// implement the two blocking protocols of the engine backends (OS-thread
+/// condition wait vs fiber park/wake — see the file comment).
 class Mailbox {
  public:
   /// Deposits `m`. If the owning PE is registered waiting on exactly `m`'s
@@ -149,6 +168,8 @@ class Mailbox {
     return std::nullopt;
   }
 
+  /// True when no message is queued (used by the engine's end-of-run
+  /// leak check: a finished simulation must have drained every mailbox).
   bool empty() const {
     std::lock_guard lock(mu_);
     return size_ == 0;

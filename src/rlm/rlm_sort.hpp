@@ -25,6 +25,7 @@
 #include "common/check.hpp"
 #include "common/math.hpp"
 #include "delivery/delivery.hpp"
+#include "em/external_merge.hpp"
 #include "net/comm.hpp"
 #include "select/multiselect.hpp"
 #include "seq/multiway_merge.hpp"
@@ -42,6 +43,14 @@ struct RlmConfig {
 
   delivery::Algo delivery = delivery::Algo::kSimple;
   std::uint64_t seed = 1;
+
+  /// Out-of-core switch (docs/EM.md): with a positive budget, delivered
+  /// runs land in spill blocks and are merged with the block-granular
+  /// external merge; the initial local sort becomes run formation +
+  /// external merge. Virtual time is identical to the in-memory path, and
+  /// so is the seeded output for unique-by-value keys (value-identical
+  /// otherwise; see memory_budget.hpp).
+  em::MemoryBudget budget;
 };
 
 namespace detail {
@@ -80,22 +89,44 @@ void rlm_level(Comm& comm, std::vector<T>& data, const RlmConfig& cfg,
   }
 
   // --- phase 2: data delivery ----------------------------------------------
+  // --- phase 3: bucket processing (multiway merge of sorted runs) ----------
+  // Over budget, the delivered runs land directly in spill blocks and the
+  // merge streams them back block by block (k block buffers of working
+  // memory); message sequence, phase structure, merge charge, and output
+  // are identical to the in-memory path (docs/EM.md).
   coll::barrier(comm);
   comm.set_phase(Phase::kDataDelivery);
-  auto runs = delivery::deliver(
-      comm, std::span<const T>(data.data(), data.size()), piece_sizes,
-      cfg.delivery, cfg.seed + level);
+  if (cfg.budget.should_spill(static_cast<std::int64_t>(data.size()) *
+                              static_cast<std::int64_t>(sizeof(T)))) {
+    em::RunStore<T> store(cfg.budget);
+    delivery::deliver_into(comm, std::span<const T>(data.data(), data.size()),
+                           piece_sizes, cfg.delivery, cfg.seed + level,
+                           em::run_sink(store));
+    std::vector<T>().swap(data);
 
-  // --- phase 3: bucket processing (multiway merge of sorted runs) ----------
-  coll::barrier(comm);
-  comm.set_phase(Phase::kBucketProcessing);
-  const auto run_spans = runs.part_spans();
-  data = seq::multiway_merge(
-      std::span<const std::span<const T>>(run_spans.data(), run_spans.size()),
-      less);
-  comm.charge(machine.merge_cost(
-      static_cast<std::int64_t>(data.size()),
-      static_cast<std::int64_t>(std::max<int>(runs.parts(), 1))));
+    coll::barrier(comm);
+    comm.set_phase(Phase::kBucketProcessing);
+    const int k = store.runs();
+    data = em::merge_runs(store, less);
+    comm.charge(machine.merge_cost(
+        static_cast<std::int64_t>(data.size()),
+        static_cast<std::int64_t>(std::max<int>(k, 1))));
+  } else {
+    auto runs = delivery::deliver(
+        comm, std::span<const T>(data.data(), data.size()), piece_sizes,
+        cfg.delivery, cfg.seed + level);
+
+    coll::barrier(comm);
+    comm.set_phase(Phase::kBucketProcessing);
+    const auto run_spans = runs.part_spans();
+    data = seq::multiway_merge(
+        std::span<const std::span<const T>>(run_spans.data(),
+                                            run_spans.size()),
+        less);
+    comm.charge(machine.merge_cost(
+        static_cast<std::int64_t>(data.size()),
+        static_cast<std::int64_t>(std::max<int>(runs.parts(), 1))));
+  }
   comm.set_phase(Phase::kOther);
 
   // --- recurse --------------------------------------------------------------
@@ -118,11 +149,13 @@ void rlm_sort(Comm& comm, std::vector<T>& data, const RlmConfig& cfg = {},
   for (int rr : rs) prod *= rr;
   PMPS_CHECK_MSG(prod == comm.size(), "group counts must multiply to p");
 
-  // Initial local sort (the paper's "every PE sorts locally first").
+  // Initial local sort (the paper's "every PE sorts locally first"); over
+  // budget it runs out of core, same charge (docs/EM.md).
   coll::barrier(comm);
   comm.set_phase(Phase::kLocalSort);
-  seq::local_sort(std::span<T>(data.data(), data.size()), less);
-  comm.charge(comm.machine().sort_cost(static_cast<std::int64_t>(data.size())));
+  const std::int64_t n_local = static_cast<std::int64_t>(data.size());
+  em::local_sort_or_spill(data, cfg.budget, less);
+  comm.charge(comm.machine().sort_cost(n_local));
   comm.set_phase(Phase::kOther);
 
   detail::rlm_level(comm, data, cfg, rs, 0, less);

@@ -23,6 +23,10 @@ namespace pmps::seq {
 template <typename T, typename Less = std::less<T>>
 class LoserTree {
  public:
+  /// Refill source for block-granular merging: refill(i) returns run i's
+  /// next window (empty span: run exhausted). See the windowed constructor.
+  using Refill = std::function<std::span<const T>(int)>;
+
   /// `runs` must stay alive while the tree is used; each run must be sorted.
   explicit LoserTree(std::span<const std::span<const T>> runs, Less less = {})
       : less_(less) {
@@ -42,6 +46,38 @@ class LoserTree {
     build();
   }
 
+  /// Windowed (external-merge) construction: run i holds `totals[i]`
+  /// elements overall but only its current *window* is in memory —
+  /// initially `windows[i]`, then whatever refill(i) returns each time the
+  /// previous window is consumed (an empty span marks the run exhausted).
+  /// Windows of one run must be consecutive sorted pieces of a sorted
+  /// sequence; a window must be non-empty while the run has elements left.
+  /// The merge (and its run-index tie breaking, i.e. stability) is
+  /// identical to the all-in-memory constructor — src/em feeds this from
+  /// block-granular RunCursors.
+  LoserTree(std::span<const std::span<const T>> windows,
+            std::span<const std::int64_t> totals, Refill refill,
+            Less less = {})
+      : less_(less), refill_(std::move(refill)) {
+    k_ = static_cast<int>(windows.size());
+    PMPS_CHECK(k_ >= 1 && totals.size() == windows.size());
+    PMPS_CHECK(refill_ != nullptr);
+    cap_ = static_cast<int>(next_pow2(static_cast<std::uint64_t>(k_)));
+    cur_.reserve(static_cast<std::size_t>(k_));
+    end_.reserve(static_cast<std::size_t>(k_));
+    tree_.assign(static_cast<std::size_t>(cap_), -1);
+    total_ = 0;
+    for (int i = 0; i < k_; ++i) {
+      const auto& w = windows[static_cast<std::size_t>(i)];
+      PMPS_CHECK(!(w.empty() && totals[static_cast<std::size_t>(i)] > 0));
+      PMPS_ASSERT(std::is_sorted(w.begin(), w.end(), less_));
+      cur_.push_back(w.data());
+      end_.push_back(w.data() + w.size());
+      total_ += totals[static_cast<std::size_t>(i)];
+    }
+    build();
+  }
+
   bool empty() const { return produced_ == total_; }
   std::int64_t size() const { return total_ - produced_; }
 
@@ -51,6 +87,9 @@ class LoserTree {
     const int w = winner_;
     const T out = *cur_[static_cast<std::size_t>(w)]++;
     ++produced_;
+    if (cur_[static_cast<std::size_t>(w)] == end_[static_cast<std::size_t>(w)] &&
+        refill_)
+      refill_run(w, out);
     replay(w);
     return out;
   }
@@ -69,6 +108,10 @@ class LoserTree {
     for (std::int64_t i = 0; i < n; ++i) {
       const int w = winner_;
       dst[i] = *cur_[static_cast<std::size_t>(w)]++;
+      if (cur_[static_cast<std::size_t>(w)] ==
+              end_[static_cast<std::size_t>(w)] &&
+          refill_)
+        refill_run(w, dst[i]);
       replay(w);
     }
     produced_ += n;
@@ -125,7 +168,19 @@ class LoserTree {
     winner_ = cur;
   }
 
+  /// Cold path of the windowed mode: run w's window is consumed — swap in
+  /// the next one. `last` is the element just popped from w, used to check
+  /// the cross-window ordering invariant in debug builds.
+  void refill_run(int w, [[maybe_unused]] const T& last) {
+    const std::span<const T> next = refill_(w);
+    PMPS_ASSERT(std::is_sorted(next.begin(), next.end(), less_));
+    PMPS_ASSERT(next.empty() || !less_(next.front(), last));
+    cur_[static_cast<std::size_t>(w)] = next.data();
+    end_[static_cast<std::size_t>(w)] = next.data() + next.size();
+  }
+
   Less less_;
+  Refill refill_;  ///< null in the all-in-memory mode
   int k_ = 0;
   int cap_ = 0;
   std::vector<const T*> cur_;  ///< per-run front cursor…

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -247,6 +248,22 @@ TEST_P(CollectivesP, AlltoallCountsIsTranspose) {
     ASSERT_EQ(static_cast<int>(recv.size()), p);
     for (int i = 0; i < p; ++i)
       EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 1000 + comm.rank());
+  });
+}
+
+TEST_P(CollectivesP, AlltoallCountsSurvivesInt32Boundary) {
+  // Counts travel as int32 on the wire (DESIGN.md §8): values at the edges
+  // of the representable range must round-trip unharmed.
+  run([](Comm& comm) {
+    const int p = comm.size();
+    const std::int64_t hi = std::numeric_limits<std::int32_t>::max();
+    std::vector<std::int64_t> send(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i)
+      send[static_cast<std::size_t>(i)] = hi - (comm.rank() * p + i);
+    const auto recv = alltoall_counts(comm, send);
+    ASSERT_EQ(static_cast<int>(recv.size()), p);
+    for (int i = 0; i < p; ++i)
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)], hi - (i * p + comm.rank()));
   });
 }
 

@@ -1,0 +1,354 @@
+// Tests for the out-of-core subsystem (src/em/): block-granular run
+// storage, the external multiway merge and its edge cases (empty runs,
+// single-block runs, all-equal keys), out-of-core local sort, and the
+// spill-vs-in-memory equivalence of the AMS/RLM/GV sorters — bit-identical
+// outputs, identical verify checksums, identical virtual time.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "ams/ams_sort.hpp"
+#include "baseline/gv_sample_sort.hpp"
+#include "common/random.hpp"
+#include "em/external_merge.hpp"
+#include "em/run_cursor.hpp"
+#include "em/run_store.hpp"
+#include "harness/runner.hpp"
+#include "harness/verify.hpp"
+#include "harness/workloads.hpp"
+#include "net/engine.hpp"
+#include "rlm/rlm_sort.hpp"
+
+namespace pmps {
+namespace {
+
+using harness::Algorithm;
+using harness::RunConfig;
+using harness::Workload;
+
+/// Tiny blocks (8 elements) so even small tests span many blocks.
+em::MemoryBudget tiny_blocks(em::SpillStats* stats = nullptr) {
+  em::MemoryBudget b;
+  b.bytes = 1;  // enabled; per-call sites decide via should_spill
+  b.block_bytes = 8 * static_cast<std::int64_t>(sizeof(std::uint64_t));
+  b.stats = stats;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// RunStore / RunCursor
+// ---------------------------------------------------------------------------
+
+TEST(RunStore, RoundTripsRunsOfAllShapes) {
+  em::SpillStats stats;
+  auto budget = tiny_blocks(&stats);
+  em::RunStore<std::uint64_t> store(budget);
+  ASSERT_EQ(store.elems_per_block(), 8);
+
+  // Empty, single-element, block-1, exact block, block+1, 3.5 blocks.
+  const std::vector<std::size_t> lens{0, 1, 7, 8, 9, 28};
+  std::vector<std::vector<std::uint64_t>> runs;
+  std::uint64_t v = 100;
+  for (auto len : lens) {
+    std::vector<std::uint64_t> r;
+    for (std::size_t i = 0; i < len; ++i) r.push_back(v++);
+    store.append_run({r.data(), r.size()});
+    runs.push_back(std::move(r));
+  }
+
+  ASSERT_EQ(store.runs(), static_cast<int>(lens.size()));
+  std::vector<std::uint64_t> expect;
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    EXPECT_EQ(store.run_size(static_cast<int>(i)),
+              static_cast<std::int64_t>(lens[i]));
+    expect.insert(expect.end(), runs[i].begin(), runs[i].end());
+  }
+  EXPECT_EQ(store.take_all(), expect);
+  EXPECT_EQ(stats.totals().runs_written, static_cast<std::int64_t>(lens.size()));
+  // 0 + 1 + 1 + 1 + 2 + 4 block writes.
+  EXPECT_EQ(stats.totals().blocks_written, 9);
+  EXPECT_EQ(stats.totals().bytes_written,
+            static_cast<std::int64_t>(expect.size() * sizeof(std::uint64_t)));
+}
+
+TEST(RunStore, CursorWindowsWalkBlockByBlock) {
+  auto budget = tiny_blocks();
+  em::RunStore<std::uint64_t> store(budget);
+  std::vector<std::uint64_t> run;
+  for (std::uint64_t i = 0; i < 20; ++i) run.push_back(i * 3);
+  store.append_run({run.data(), run.size()});
+
+  em::RunCursor<std::uint64_t> cur(&store, 0);
+  std::vector<std::uint64_t> seen;
+  std::vector<std::size_t> window_sizes;
+  for (auto w = cur.next_window(); !w.empty(); w = cur.next_window()) {
+    window_sizes.push_back(w.size());
+    seen.insert(seen.end(), w.begin(), w.end());
+  }
+  EXPECT_EQ(window_sizes, (std::vector<std::size_t>{8, 8, 4}));
+  EXPECT_EQ(seen, run);
+  EXPECT_EQ(cur.remaining(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// External merge edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ExternalMerge, EmptyStore) {
+  auto budget = tiny_blocks();
+  em::RunStore<std::uint64_t> store(budget);
+  EXPECT_TRUE(em::merge_runs(store).empty());
+}
+
+TEST(ExternalMerge, EmptyRunsAmongNonEmpty) {
+  auto budget = tiny_blocks();
+  em::RunStore<std::uint64_t> store(budget);
+  const std::vector<std::uint64_t> a{1, 4, 9};
+  const std::vector<std::uint64_t> b{2, 2, 7};
+  store.append_run({});                  // leading empty run
+  store.append_run({a.data(), a.size()});
+  store.append_run({});                  // middle empty run
+  store.append_run({b.data(), b.size()});
+  store.append_run({});                  // trailing empty run
+  EXPECT_EQ(em::merge_runs(store),
+            (std::vector<std::uint64_t>{1, 2, 2, 4, 7, 9}));
+}
+
+TEST(ExternalMerge, SingleBlockRuns) {
+  auto budget = tiny_blocks();
+  em::RunStore<std::uint64_t> store(budget);
+  std::vector<std::vector<std::uint64_t>> runs{{5, 6}, {1, 9}, {3}};
+  std::vector<std::uint64_t> expect;
+  for (auto& r : runs) {
+    store.append_run({r.data(), r.size()});
+    expect.insert(expect.end(), r.begin(), r.end());
+  }
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(em::merge_runs(store), expect);
+}
+
+TEST(ExternalMerge, AllEqualKeysAcrossRunsIsRunStable) {
+  // All keys equal, payloads tag the origin run: the external merge must
+  // emit runs in run-index order — the same stability contract as the
+  // in-memory seq::multiway_merge, hence bit-identical results.
+  struct KV {  // (key, origin run)
+    std::uint64_t key;
+    int run;
+  };
+  struct KeyLess {
+    bool operator()(const KV& a, const KV& b) const { return a.key < b.key; }
+  };
+  em::MemoryBudget budget;
+  budget.bytes = 1;
+  budget.block_bytes = 4 * static_cast<std::int64_t>(sizeof(KV));
+  em::RunStore<KV> store(budget);
+  std::vector<std::vector<KV>> runs;
+  for (int r = 0; r < 6; ++r) {
+    runs.emplace_back(static_cast<std::size_t>(10 + r), KV{42, r});
+    store.append_run({runs.back().data(), runs.back().size()});
+  }
+  const auto out = em::merge_runs(store, KeyLess{});
+  const auto expect = seq::multiway_merge(runs, KeyLess{});
+  ASSERT_EQ(out.size(), expect.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, expect[i].key) << "position " << i;
+    EXPECT_EQ(out[i].run, expect[i].run) << "position " << i;
+  }
+}
+
+TEST(ExternalMerge, RandomizedMatchesInMemoryMerge) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Xoshiro256 rng(seed);
+    auto budget = tiny_blocks();
+    em::RunStore<std::uint64_t> store(budget);
+    std::vector<std::vector<std::uint64_t>> runs(
+        static_cast<std::size_t>(1 + rng.bounded(12)));
+    for (auto& r : runs) {
+      const auto len = rng.bounded(100);
+      for (std::uint64_t i = 0; i < len; ++i) r.push_back(rng.bounded(50));
+      std::sort(r.begin(), r.end());
+      store.append_run({r.data(), r.size()});
+    }
+    EXPECT_EQ(em::merge_runs(store), seq::multiway_merge(runs))
+        << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// external_sort
+// ---------------------------------------------------------------------------
+
+TEST(ExternalSort, MatchesInMemorySort) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Xoshiro256 rng(seed);
+    std::vector<std::uint64_t> data(
+        static_cast<std::size_t>(rng.bounded(5000)));
+    for (auto& v : data) v = rng.bounded(1000);  // duplicates likely
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+
+    em::SpillStats stats;
+    em::MemoryBudget budget;
+    budget.bytes = 512 * static_cast<std::int64_t>(sizeof(std::uint64_t));
+    budget.block_bytes = 64 * static_cast<std::int64_t>(sizeof(std::uint64_t));
+    budget.stats = &stats;
+    em::external_sort(data, budget);
+    EXPECT_EQ(data, expect) << "seed=" << seed;
+    if (expect.size() > 512) {
+      EXPECT_GT(stats.totals().runs_written, 1) << "seed=" << seed;
+      EXPECT_GT(stats.totals().bytes_written, 0) << "seed=" << seed;
+      EXPECT_EQ(stats.totals().bytes_read, stats.totals().bytes_written);
+    }
+  }
+}
+
+TEST(ExternalSort, EmptyAndTinyInputs) {
+  em::MemoryBudget budget = tiny_blocks();
+  std::vector<std::uint64_t> empty;
+  em::external_sort(empty, budget);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<std::uint64_t> one{7};
+  em::external_sort(one, budget);
+  EXPECT_EQ(one, (std::vector<std::uint64_t>{7}));
+}
+
+// ---------------------------------------------------------------------------
+// Spill-vs-in-memory equivalence of the sorters
+// ---------------------------------------------------------------------------
+
+/// Runs `algo` at p=8, n_per_pe=600 and returns (per-PE outputs, report).
+struct SortOutcome {
+  std::vector<std::vector<std::uint64_t>> per_pe;
+  net::RunReport report;
+  bool verified = false;
+};
+
+SortOutcome run_capturing(Algorithm algo, Workload workload,
+                          std::int64_t budget_bytes, std::uint64_t seed,
+                          em::SpillStats* stats = nullptr) {
+  constexpr int kP = 8;
+  constexpr std::int64_t kNPerPe = 600;
+  net::Engine engine(kP, net::MachineParams::supermuc_like(), seed);
+  SortOutcome out;
+  out.per_pe.resize(kP);
+  std::mutex mu;
+
+  em::MemoryBudget budget;
+  budget.bytes = budget_bytes;
+  budget.block_bytes = 128 * static_cast<std::int64_t>(sizeof(std::uint64_t));
+  budget.stats = stats;
+
+  engine.run([&](net::Comm& comm) {
+    auto data =
+        harness::make_workload(workload, comm.rank(), kP, kNPerPe, seed);
+    const auto in_hash = harness::content_hash(
+        std::span<const std::uint64_t>(data.data(), data.size()));
+
+    switch (algo) {
+      case Algorithm::kAms: {
+        ams::AmsConfig cfg;
+        cfg.levels = 2;
+        cfg.seed = seed;
+        cfg.budget = budget;
+        ams::ams_sort(comm, data, cfg);
+        break;
+      }
+      case Algorithm::kRlm: {
+        rlm::RlmConfig cfg;
+        cfg.levels = 2;
+        cfg.seed = seed;
+        cfg.budget = budget;
+        rlm::rlm_sort(comm, data, cfg);
+        break;
+      }
+      case Algorithm::kGvSampleSort: {
+        baseline::GvConfig cfg;
+        cfg.levels = 2;
+        cfg.seed = seed;
+        cfg.budget = budget;
+        baseline::gv_sample_sort(comm, data, cfg);
+        break;
+      }
+      default:
+        FAIL() << "unsupported algorithm in this test";
+    }
+
+    const auto check = harness::verify_sorted_output(
+        comm, std::span<const std::uint64_t>(data.data(), data.size()),
+        in_hash, kNPerPe);
+    std::lock_guard lock(mu);
+    out.per_pe[static_cast<std::size_t>(comm.rank())] = std::move(data);
+    if (comm.rank() == 0) out.verified = check.ok();
+  });
+  out.report = engine.report();
+  return out;
+}
+
+class SpillEquivalence
+    : public ::testing::TestWithParam<std::tuple<Algorithm, Workload>> {};
+
+TEST_P(SpillEquivalence, BitIdenticalToInMemoryPath) {
+  const auto [algo, workload] = GetParam();
+  // 600 × 8 bytes = 4800 bytes per PE; a 1 KiB budget forces spilling at
+  // every stage, in runs of many blocks.
+  em::SpillStats stats;
+  const auto spill = run_capturing(algo, workload, 1024, /*seed=*/3, &stats);
+  const auto plain = run_capturing(algo, workload, 0, /*seed=*/3);
+
+  EXPECT_TRUE(spill.verified);
+  EXPECT_TRUE(plain.verified);
+  EXPECT_GT(stats.totals().bytes_written, 0) << "budget did not trigger";
+
+  // Bit-identical outputs, PE by PE.
+  ASSERT_EQ(spill.per_pe.size(), plain.per_pe.size());
+  for (std::size_t pe = 0; pe < spill.per_pe.size(); ++pe)
+    EXPECT_EQ(spill.per_pe[pe], plain.per_pe[pe]) << "PE " << pe;
+
+  // Spilling is invisible to virtual time: same clock, same traffic.
+  EXPECT_DOUBLE_EQ(spill.report.wall_time, plain.report.wall_time);
+  EXPECT_EQ(spill.report.max_messages_sent, plain.report.max_messages_sent);
+  EXPECT_EQ(spill.report.total_bytes_sent, plain.report.total_bytes_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sorters, SpillEquivalence,
+    ::testing::Combine(::testing::Values(Algorithm::kAms, Algorithm::kRlm,
+                                         Algorithm::kGvSampleSort),
+                       ::testing::Values(Workload::kUniform,
+                                         Workload::kAllEqual,
+                                         Workload::kSortedGlobal)));
+
+// ---------------------------------------------------------------------------
+// Acceptance: over-budget AMS through the harness
+// ---------------------------------------------------------------------------
+
+TEST(OverBudgetHarness, AmsSortExceedingBudgetCompletesAndVerifies) {
+  RunConfig cfg;
+  cfg.p = 8;
+  cfg.n_per_pe = 1000;  // 8000 bytes per PE
+  cfg.algorithm = Algorithm::kAms;
+  cfg.budget.bytes = 2048;  // force out-of-core
+  cfg.budget.block_bytes = 1024;
+  cfg.seed = 11;
+  const auto spilled = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(spilled.check.ok());
+  EXPECT_GT(spilled.spill.bytes_written, 0);
+  EXPECT_GT(spilled.spill.external_sorts, 0);
+
+  cfg.budget = {};
+  const auto plain = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(plain.check.ok());
+  EXPECT_EQ(plain.spill.bytes_written, 0);
+  // Same virtual time and traffic — the spill path exchanged the same
+  // messages and charged the same local work.
+  EXPECT_DOUBLE_EQ(spilled.report.wall_time, plain.report.wall_time);
+  EXPECT_EQ(spilled.spill.bytes_read, spilled.spill.bytes_written);
+}
+
+}  // namespace
+}  // namespace pmps
