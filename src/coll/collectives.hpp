@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "coll/flat.hpp"
+#include "coll/send_plan.hpp"
 #include "common/check.hpp"
 #include "common/math.hpp"
 #include "common/types.hpp"
@@ -68,12 +69,14 @@ inline void barrier(Comm& comm) {
   if (p == 1) return;
   const std::uint64_t tag = comm.next_tag_block();
   const std::byte token{0};
+  std::byte got{0};
   for (int round = 0, step = 1; step < p; ++round, step <<= 1) {
     const int dest = (comm.rank() + step) % p;
     const int src = (comm.rank() - step % p + p) % p;
     comm.send<std::byte>(dest, tag + static_cast<std::uint64_t>(round),
                          std::span<const std::byte>(&token, 1));
-    (void)comm.recv<std::byte>(src, tag + static_cast<std::uint64_t>(round));
+    comm.recv_into<std::byte>(src, tag + static_cast<std::uint64_t>(round),
+                              std::span<std::byte>(&got, 1));
   }
 }
 
@@ -378,25 +381,36 @@ std::vector<T> allgather_merge(Comm& comm, std::span<const T> local_sorted,
 
 /// Alltoall of one count per pair using Bruck's algorithm: ⌈log2 p⌉ rounds
 /// of ≤ p/2 entries each, i.e. Θ((α + βp) log p) instead of p startups.
-/// Returns recv[i] = the value rank i sent to us.
+/// Writes recv[i] = the value rank i sent to us (recv is resized to p).
 ///
 /// Counts travel as int32 on the wire — half the Θ(p) bytes per PE of the
 /// previous int64 format (this collective runs under every alltoallv and
 /// sparse exchange, so at large p the halving is visible in β terms).
-/// Values outside int32 range are a checked failure; the int64 signature is
+/// Values outside int32 range are a checked failure; the int64 interface is
 /// kept so callers stay unchanged. Wire-format note: docs/DESIGN.md §8.
-inline std::vector<std::int64_t> alltoall_counts(
-    Comm& comm, const std::vector<std::int64_t>& send) {
+///
+/// The sink-style signature exists for the zero-allocation message path
+/// (docs/DESIGN.md §9): the Bruck working arrays live in the PE's
+/// CollScratch and every round's payload is received into them, so a warm
+/// call allocates nothing (beyond growing `recv` once).
+inline void alltoall_counts_into(Comm& comm,
+                                 std::span<const std::int64_t> send,
+                                 std::vector<std::int64_t>& recv) {
   const int p = comm.size();
   PMPS_CHECK(static_cast<int>(send.size()) == p);
-  if (p == 1) return send;
+  if (p == 1) {
+    recv.assign(send.begin(), send.end());
+    return;
+  }
   const int me = comm.rank();
   const std::uint64_t tag = comm.next_tag_block();
+  net::CollScratch& scratch = comm.ctx().coll_scratch;
 
   // Local rotation: tmp[j] = my value for dest (me + j) mod p. Position j
   // always holds data whose remaining travel distance has exactly the
   // not-yet-processed bits of j.
-  std::vector<std::int32_t> tmp(static_cast<std::size_t>(p));
+  std::vector<std::int32_t>& tmp = scratch.bruck_tmp;
+  tmp.resize(static_cast<std::size_t>(p));
   for (int j = 0; j < p; ++j) {
     const std::int64_t v = send[static_cast<std::size_t>((me + j) % p)];
     PMPS_CHECK_MSG(
@@ -406,7 +420,8 @@ inline std::vector<std::int64_t> alltoall_counts(
     tmp[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(v);
   }
 
-  std::vector<std::int32_t> block;
+  std::vector<std::int32_t>& block = scratch.bruck_block;
+  std::vector<std::int32_t>& in = scratch.bruck_in;
   for (int k = 0, step = 1; step < p; ++k, step <<= 1) {
     block.clear();
     for (int j = 0; j < p; ++j)
@@ -415,7 +430,11 @@ inline std::vector<std::int64_t> alltoall_counts(
     const int from = (me - step + p) % p;
     comm.send<std::int32_t>(to, tag + static_cast<std::uint64_t>(k),
                             std::span<const std::int32_t>(block));
-    auto in = comm.recv<std::int32_t>(from, tag + static_cast<std::uint64_t>(k));
+    // The incoming block covers the same index set {j : j & step}, so its
+    // size equals ours and it can land in scratch without a size probe.
+    in.resize(block.size());
+    comm.recv_into<std::int32_t>(from, tag + static_cast<std::uint64_t>(k),
+                                 std::span<std::int32_t>(in.data(), in.size()));
     std::size_t idx = 0;
     for (int j = 0; j < p; ++j)
       if ((j & step) != 0) tmp[static_cast<std::size_t>(j)] = in[idx++];
@@ -423,10 +442,18 @@ inline std::vector<std::int64_t> alltoall_counts(
 
   // Position j now holds the value that travelled j hops, i.e. from rank
   // (me − j) mod p.
-  std::vector<std::int64_t> recv(static_cast<std::size_t>(p));
+  recv.resize(static_cast<std::size_t>(p));
   for (int j = 0; j < p; ++j)
     recv[static_cast<std::size_t>((me - j + p) % p)] =
         tmp[static_cast<std::size_t>(j)];
+}
+
+/// Value-returning wrapper over alltoall_counts_into.
+inline std::vector<std::int64_t> alltoall_counts(
+    Comm& comm, const std::vector<std::int64_t>& send) {
+  std::vector<std::int64_t> recv;
+  alltoall_counts_into(
+      comm, std::span<const std::int64_t>(send.data(), send.size()), recv);
   return recv;
 }
 
@@ -577,13 +604,6 @@ FlatParts<T> alltoallv(Comm& comm, std::span<const T> sendbuf,
 // sparse exchange (NBX-style)
 // ---------------------------------------------------------------------------
 
-/// One outgoing message of a sparse exchange.
-template <Sortable T>
-struct OutMessage {
-  int dest_rank;
-  std::vector<T> data;
-};
-
 /// Result of a sparse exchange: one flat buffer holding every received
 /// message, indexed by (message, offset) through the FlatParts view, with
 /// the source rank of each part alongside. Parts are ordered by source rank
@@ -605,29 +625,40 @@ struct SparseIn {
 /// returns to the engine's pool. The out-of-core delivery path
 /// (delivery::deliver_into + em::run_sink) uses this to land incoming
 /// pieces directly into run blocks on disk.
+///
+/// The outgoing messages arrive as a SendPlan (send_plan.hpp): pieces are
+/// sent in plan order straight out of the plan's flat buffer, and the
+/// Θ(p) count vectors live in the PE's CollScratch — a warm exchange with
+/// a reused plan and a non-allocating sink performs zero heap allocations
+/// (docs/DESIGN.md §9, asserted by tests/test_alloc.cpp).
 template <Sortable T, typename Sink>
-void sparse_exchange_into(Comm& comm,
-                          const std::vector<OutMessage<T>>& outgoing,
+void sparse_exchange_into(Comm& comm, const SendPlan<T>& outgoing,
                           Sink&& sink) {
   const int p = comm.size();
   const std::uint64_t tag = comm.next_tag_block();
+  net::CollScratch& scratch = comm.ctx().coll_scratch;
 
   // --- out-of-band: who receives how many messages (uncharged) -------------
-  std::vector<std::int64_t> in_count(static_cast<std::size_t>(p), 0);
+  std::vector<std::int64_t>& in_count = scratch.counts_in;
   {
     net::FreeModeGuard free_guard(comm.ctx());
-    std::vector<std::int64_t> out_count(static_cast<std::size_t>(p), 0);
-    for (const auto& m : outgoing)
-      out_count[static_cast<std::size_t>(m.dest_rank)] += 1;
-    in_count = alltoall_counts(comm, out_count);
+    std::vector<std::int64_t>& out_count = scratch.counts_out;
+    out_count.assign(static_cast<std::size_t>(p), 0);
+    for (int i = 0; i < outgoing.pieces(); ++i)
+      out_count[static_cast<std::size_t>(outgoing.dest(i))] += 1;
+    alltoall_counts_into(
+        comm, std::span<const std::int64_t>(out_count.data(), out_count.size()),
+        in_count);
   }
 
   // --- charged: the real messages ------------------------------------------
-  std::vector<std::int64_t> seq_per_dest(static_cast<std::size_t>(p), 0);
-  for (const auto& m : outgoing) {
+  std::vector<std::int64_t>& seq_per_dest = scratch.seq_per_dest;
+  seq_per_dest.assign(static_cast<std::size_t>(p), 0);
+  for (int i = 0; i < outgoing.pieces(); ++i) {
+    const int dest = outgoing.dest(i);
     const auto k = static_cast<std::uint64_t>(
-        seq_per_dest[static_cast<std::size_t>(m.dest_rank)]++);
-    comm.send<T>(m.dest_rank, tag + k, std::span<const T>(m.data));
+        seq_per_dest[static_cast<std::size_t>(dest)]++);
+    comm.send<T>(dest, tag + k, outgoing.piece(i));
   }
 
   for (int src = 0; src < p; ++src) {
@@ -658,8 +689,7 @@ void sparse_exchange_into(Comm& comm,
 /// O(1) allocations. (This is sparse_exchange_into with the flat-buffer
 /// sink.)
 template <Sortable T>
-SparseIn<T> sparse_exchange(Comm& comm,
-                            const std::vector<OutMessage<T>>& outgoing) {
+SparseIn<T> sparse_exchange(Comm& comm, const SendPlan<T>& outgoing) {
   SparseIn<T> in;
   std::vector<T> flat;
   std::vector<std::int64_t> offsets{0};

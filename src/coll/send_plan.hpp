@@ -1,0 +1,100 @@
+// SendPlan: the send-side twin of FlatParts (flat.hpp).
+//
+// One contiguous element buffer plus a flat array of (dest, offset) piece
+// descriptors — the counts/displacements shape on the *outgoing* side.
+// Planners append pieces directly into the flat buffer (begin_piece /
+// append), so building a sparse exchange's outgoing message set costs
+// three growable buffers per plan instead of one heap vector per piece —
+// the send-side half of the Θ(p²)-allocation wall FlatParts removed on the
+// receive side (docs/DESIGN.md §9).
+//
+// A cleared plan keeps its capacity, so a reused plan (clear + refill each
+// round) allocates nothing once warm — the shape the zero-allocation
+// message path is built from. Pieces are sent in append order by
+// coll::sparse_exchange, which is what makes the message sequence (and
+// with it virtual time) identical to the old per-piece-vector path.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pmps::coll {
+
+template <typename T>
+class SendPlan {
+ public:
+  SendPlan() = default;
+
+  /// Drops all pieces but keeps every buffer's capacity (steady-state reuse).
+  void clear() {
+    buf_.clear();
+    offsets_.resize(1);
+    dests_.clear();
+  }
+
+  /// Pre-sizes the buffers (optional; append grows them on demand).
+  void reserve(std::int64_t elements, int pieces) {
+    buf_.reserve(static_cast<std::size_t>(elements));
+    offsets_.reserve(static_cast<std::size_t>(pieces) + 1);
+    dests_.reserve(static_cast<std::size_t>(pieces));
+  }
+
+  /// Opens a new piece addressed to `dest_rank`; subsequent append/push_back
+  /// calls extend it until the next begin_piece. Empty pieces are legal
+  /// (they become empty messages).
+  void begin_piece(int dest_rank) {
+    dests_.push_back(dest_rank);
+    offsets_.push_back(offsets_.back());
+  }
+
+  /// Appends `elems` to the currently open piece.
+  void append(std::span<const T> elems) {
+    PMPS_ASSERT(!dests_.empty());
+    buf_.insert(buf_.end(), elems.begin(), elems.end());
+    offsets_.back() = static_cast<std::int64_t>(buf_.size());
+  }
+
+  /// Appends one element to the currently open piece.
+  void push_back(const T& v) {
+    PMPS_ASSERT(!dests_.empty());
+    buf_.push_back(v);
+    offsets_.back() = static_cast<std::int64_t>(buf_.size());
+  }
+
+  /// One-shot piece: begin_piece + append.
+  void add(int dest_rank, std::span<const T> elems) {
+    begin_piece(dest_rank);
+    append(elems);
+  }
+
+  /// Number of planned pieces (= outgoing messages).
+  int pieces() const { return static_cast<int>(dests_.size()); }
+
+  /// Destination rank of piece `i`.
+  int dest(int i) const {
+    PMPS_ASSERT(i >= 0 && i < pieces());
+    return dests_[static_cast<std::size_t>(i)];
+  }
+
+  /// Zero-copy span view of piece `i`'s elements.
+  std::span<const T> piece(int i) const {
+    PMPS_ASSERT(i >= 0 && i < pieces());
+    const auto b = offsets_[static_cast<std::size_t>(i)];
+    const auto e = offsets_[static_cast<std::size_t>(i) + 1];
+    return {buf_.data() + b, static_cast<std::size_t>(e - b)};
+  }
+
+  /// Total element count across all pieces.
+  std::int64_t total() const { return offsets_.back(); }
+
+ private:
+  std::vector<T> buf_;
+  std::vector<std::int64_t> offsets_{0};  ///< pieces+1, leading 0
+  std::vector<int> dests_;                ///< dests_[i] = dest rank of piece i
+};
+
+}  // namespace pmps::coll

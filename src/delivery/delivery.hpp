@@ -91,11 +91,13 @@ inline std::int64_t chunk_of(std::int64_t m, std::int64_t parts,
 
 /// Emits sends for one contiguous piece occupying positions
 /// [pos, pos + len) of group g's stream of m elements, split across the
-/// group's p_prime receivers by chunk boundaries.
+/// group's p_prime receivers by chunk boundaries. Each chunk becomes one
+/// plan piece, written straight into the plan's flat buffer (no per-piece
+/// vector).
 template <typename T>
 void emit_piece(std::span<const T> piece, int group, std::int64_t pos,
                 std::int64_t m, std::int64_t p_prime,
-                std::vector<coll::OutMessage<T>>& out) {
+                coll::SendPlan<T>& out) {
   std::int64_t done = 0;
   const auto len = static_cast<std::int64_t>(piece.size());
   while (done < len) {
@@ -105,9 +107,8 @@ void emit_piece(std::span<const T> piece, int group, std::int64_t pos,
     PMPS_ASSERT(take > 0);
     const int dest =
         group * static_cast<int>(p_prime) + static_cast<int>(q);
-    out.push_back(coll::OutMessage<T>{
-        dest, std::vector<T>(piece.begin() + done,
-                             piece.begin() + done + take)});
+    out.add(dest, piece.subspan(static_cast<std::size_t>(done),
+                                static_cast<std::size_t>(take)));
     done += take;
   }
 }
@@ -134,7 +135,11 @@ coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
 
 // Every algorithm below is a *planner*: it runs the algorithm's control
 // communication (prefix sums, descriptor exchanges, delegations) and
-// returns the outgoing data messages. deliver() ships them with
+// returns the outgoing data messages as one coll::SendPlan — a flat
+// element buffer plus (dest, offset) piece descriptors, the send-side
+// mirror of FlatParts. Planners write pieces directly into the flat
+// buffer, so planning costs O(1) allocations instead of one heap vector
+// per piece (docs/DESIGN.md §9). deliver() ships the plan with
 // coll::sparse_exchange; deliver_into() ships the identical messages but
 // lands every received piece in a caller-provided sink (the out-of-core
 // path stores them as run blocks, src/em) — same message sequence, same
@@ -149,7 +154,7 @@ coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
 /// at a global position in its group's stream; chunk boundaries map
 /// positions to receivers. O(2r) sends per PE.
 template <typename T>
-std::vector<coll::OutMessage<T>> plan_simple_impl(
+coll::SendPlan<T> plan_simple_impl(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes, bool permute_senders,
     std::uint64_t seed) {
@@ -173,7 +178,7 @@ std::vector<coll::OutMessage<T>> plan_simple_impl(
   const auto m = coll::allreduce_add(comm, piece_sizes);
 
   const auto loc = detail::local_offsets(piece_sizes);
-  std::vector<coll::OutMessage<T>> out;
+  coll::SendPlan<T> out;
   for (int g = 0; g < r; ++g) {
     if (piece_sizes[static_cast<std::size_t>(g)] == 0) continue;
     detail::emit_piece(
@@ -213,7 +218,7 @@ struct FragmentAssign {
 /// ≤ r per receiver; large pieces fill the residual capacities. Every
 /// receiver gets O(r) messages regardless of the piece-size distribution.
 template <typename T>
-std::vector<coll::OutMessage<T>> plan_deterministic(
+coll::SendPlan<T> plan_deterministic(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes) {
   using detail::PieceDesc;
@@ -234,16 +239,16 @@ std::vector<coll::OutMessage<T>> plan_deterministic(
   // Send every piece's descriptor to PE ⌊sender/r⌋ of its target group —
   // the Exch(p, O(r), r) descriptor exchange of §4.3.1. (Pieces of size 0
   // are ignored entirely.)
-  std::vector<coll::OutMessage<PieceDesc>> desc_out;
+  coll::SendPlan<PieceDesc> desc_out;
   for (int g = 0; g < r; ++g) {
     if (piece_sizes[static_cast<std::size_t>(g)] == 0) continue;
     const int within = comm.rank() / r;  // ⌊i/r⌋, capped to the group size
     const int holder =
         g * static_cast<int>(p_prime) +
         std::min<int>(within, static_cast<int>(p_prime) - 1);
-    desc_out.push_back(coll::OutMessage<PieceDesc>{
-        holder,
-        {PieceDesc{comm.rank(), g, piece_sizes[static_cast<std::size_t>(g)]}}});
+    desc_out.begin_piece(holder);
+    desc_out.push_back(
+        PieceDesc{comm.rank(), g, piece_sizes[static_cast<std::size_t>(g)]});
   }
   auto desc_in = coll::sparse_exchange(comm, desc_out);
 
@@ -316,7 +321,7 @@ std::vector<coll::OutMessage<T>> plan_deterministic(
       static_cast<std::int64_t>(pieces.size() + assigns.size())));
 
   // Reply the assignments to the senders (only fragments of *their* pieces).
-  std::vector<coll::OutMessage<detail::FragmentAssign>> reply_out;
+  coll::SendPlan<detail::FragmentAssign> reply_out;
   {
     // Each member replies for the pieces whose descriptor it held; we know
     // which ones: sender/r == my rank-within-group (same mapping as above).
@@ -330,35 +335,31 @@ std::vector<coll::OutMessage<T>> plan_deterministic(
     for (const auto& pc : pieces)
       if (pc.size > small_limit) order.push_back(&pc);
     for (const PieceDesc* pc : order) {
-      std::vector<detail::FragmentAssign> frags;
+      const int holder_within =
+          std::min<int>(pc->sender / r, static_cast<int>(p_prime) - 1);
+      const bool mine = holder_within == my_within;
+      if (mine) reply_out.begin_piece(pc->sender);
       std::int64_t covered = 0;
       while (covered < pc->size) {
         PMPS_CHECK(ai < assigns.size());
-        frags.push_back(assigns[ai]);
+        if (mine) reply_out.push_back(assigns[ai]);
         covered += assigns[ai].len;
         ++ai;
       }
       PMPS_CHECK(covered == pc->size);
-      const int holder_within =
-          std::min<int>(pc->sender / r, static_cast<int>(p_prime) - 1);
-      if (holder_within == my_within) {
-        reply_out.push_back(coll::OutMessage<detail::FragmentAssign>{
-            pc->sender, std::move(frags)});
-      }
     }
     PMPS_CHECK(ai == assigns.size());
   }
   auto replies = coll::sparse_exchange(comm, reply_out);
 
-  // Ship the data.
+  // Ship the data: each assigned fragment is one plan piece, sliced
+  // straight out of the local data span.
   const auto loc = detail::local_offsets(piece_sizes);
-  std::vector<coll::OutMessage<T>> out;
+  coll::SendPlan<T> out;
   for (const auto& f : replies.parts.flat()) {
     const auto base = static_cast<std::size_t>(
         loc[static_cast<std::size_t>(f.group)] + f.piece_offset);
-    out.push_back(coll::OutMessage<T>{
-        f.dest, std::vector<T>(data.begin() + base,
-                               data.begin() + base + f.len)});
+    out.add(f.dest, data.subspan(base, static_cast<std::size_t>(f.len)));
   }
   return out;
 }
@@ -390,7 +391,7 @@ struct RangeReply {
 /// that whp no receiver sees more than O(r) messages, without the barrier
 /// structure of the deterministic scheme.
 template <typename T>
-std::vector<coll::OutMessage<T>> plan_advanced(
+coll::SendPlan<T> plan_advanced(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes, std::uint64_t seed) {
   using detail::Delegation;
@@ -445,16 +446,16 @@ std::vector<coll::OutMessage<T>> plan_advanced(
       static_cast<std::uint64_t>(std::max<std::int64_t>(total_large, 1)),
       seed ^ 0xde1e6a7eULL);
 
-  std::vector<coll::OutMessage<Delegation>> delegate_out;
+  coll::SendPlan<Delegation> delegate_out;
   {
     std::int64_t idx = my_first_large;
     for (const auto& f : frags) {
       if (!f.large) continue;
       const int delegate = static_cast<int>(
           perm(static_cast<std::uint64_t>(idx)) % static_cast<std::uint64_t>(p));
-      delegate_out.push_back(coll::OutMessage<Delegation>{
-          delegate,
-          {Delegation{comm.rank(), f.group, f.piece_offset, f.size}}});
+      delegate_out.begin_piece(delegate);
+      delegate_out.push_back(
+          Delegation{comm.rank(), f.group, f.piece_offset, f.size});
       ++idx;
     }
   }
@@ -474,7 +475,7 @@ std::vector<coll::OutMessage<T>> plan_advanced(
   // Assign position ranges: first own small fragments, then delegated ones;
   // notify origins of their ranges.
   std::vector<RangeReply> my_small_ranges;
-  std::vector<coll::OutMessage<RangeReply>> reply_out;
+  coll::SendPlan<RangeReply> reply_out;
   {
     std::vector<std::int64_t> cursor = positions;
     for (const auto& f : frags) {
@@ -485,10 +486,9 @@ std::vector<coll::OutMessage<T>> plan_advanced(
       cursor[static_cast<std::size_t>(f.group)] += f.size;
     }
     for (const auto& d : delegated.parts.flat()) {
-      reply_out.push_back(coll::OutMessage<RangeReply>{
-          d.origin,
-          {RangeReply{d.group, d.piece_offset, d.size,
-                      cursor[static_cast<std::size_t>(d.group)]}}});
+      reply_out.begin_piece(d.origin);
+      reply_out.push_back(RangeReply{d.group, d.piece_offset, d.size,
+                                     cursor[static_cast<std::size_t>(d.group)]});
       cursor[static_cast<std::size_t>(d.group)] += d.size;
     }
   }
@@ -496,7 +496,7 @@ std::vector<coll::OutMessage<T>> plan_advanced(
 
   // Ship data: own small fragments plus replied large fragments.
   const auto loc = detail::local_offsets(piece_sizes);
-  std::vector<coll::OutMessage<T>> out;
+  coll::SendPlan<T> out;
   auto emit = [&](const RangeReply& rr) {
     const auto base = static_cast<std::size_t>(
         loc[static_cast<std::size_t>(rr.group)] + rr.piece_offset);
@@ -516,9 +516,10 @@ std::vector<coll::OutMessage<T>> plan_advanced(
 // ---------------------------------------------------------------------------
 
 /// Runs the chosen algorithm's planning communication and returns the
-/// outgoing data messages (collective; every PE must call it).
+/// outgoing data messages as one flat SendPlan (collective; every PE must
+/// call it).
 template <typename T>
-std::vector<coll::OutMessage<T>> plan_delivery(
+coll::SendPlan<T> plan_delivery(
     Comm& comm, std::span<const T> data,
     const std::vector<std::int64_t>& piece_sizes, Algo algo,
     std::uint64_t seed) {

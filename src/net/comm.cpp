@@ -70,7 +70,7 @@ void Comm::send_bytes(int dest_rank, std::uint64_t tag,
   msg.tag = tag;
   msg.src_pe = ctx_->pe;
   msg.arrival = ctx_->clock;  // sender-finish time in the single-ported model
-  msg.payload = engine_->buffer_pool().acquire();
+  msg.payload = engine_->buffer_pool().acquire(payload.size_bytes());
   msg.payload.assign(payload.begin(), payload.end());
   engine_->deposit_message(dest_pe, std::move(msg));
 }

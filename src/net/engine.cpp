@@ -60,6 +60,7 @@ Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed,
   for (int i = 0; i < num_pes; ++i) {
     auto ctx = std::make_unique<PeContext>();
     ctx->pe = i;
+    ctx->mailbox.set_node_pool(&node_pool_);
     ctx->rng = Xoshiro256(seed, static_cast<std::uint64_t>(i));
     ctx->noise_rng =
         Xoshiro256(seed ^ 0x6e6f697365ULL, static_cast<std::uint64_t>(i));

@@ -45,6 +45,18 @@ enum class EngineBackend : int {
   kFibers = 2,   ///< cooperative fibers on a fixed worker pool
 };
 
+/// Reusable Θ(p)-sized scratch for the hot collectives: the per-call count
+/// vectors of coll::sparse_exchange_into and the working arrays of the
+/// Bruck counts exchange (coll::alltoall_counts_into). Per-PE and shared
+/// by every Comm of that PE, so a delivery's repeated sparse exchanges
+/// reuse warm capacity instead of allocating 2+ Θ(p) vectors per call.
+/// The collectives never nest within one PE, so distinct fields are never
+/// aliased by a live use.
+struct CollScratch {
+  std::vector<std::int64_t> counts_out, counts_in, seq_per_dest;
+  std::vector<std::int32_t> bruck_tmp, bruck_block, bruck_in;
+};
+
 /// All mutable per-PE state. Owned by the engine, accessed only by the
 /// thread or fiber running that PE (mailbox deposits aside, which are
 /// internally synchronised).
@@ -55,6 +67,7 @@ struct PeContext {
   bool free_mode = false;  ///< suppress all charging (precomputation steps)
   Mailbox mailbox;
   CommStats stats;
+  CollScratch coll_scratch;
   Xoshiro256 rng;        ///< algorithmic randomness (shared seed semantics)
   Xoshiro256 noise_rng;  ///< communication jitter stream
 
@@ -123,6 +136,10 @@ class Engine {
   /// copying the payload out (see BufferPool in mailbox.hpp).
   BufferPool& buffer_pool() { return buffer_pool_; }
 
+  /// Recycled mailbox nodes, shared by every PE's mailbox (see MsgNodePool
+  /// in mailbox.hpp).
+  MsgNodePool& node_pool() { return node_pool_; }
+
   /// Aggregated results of the last run().
   RunReport report() const;
 
@@ -133,6 +150,9 @@ class Engine {
   EngineBackend backend_;
   double run_congestion_ = 1.0;
   std::uint64_t run_counter_ = 0;
+  /// Declared before pes_ so mailboxes (which return nodes on teardown)
+  /// are destroyed while the pool is still alive.
+  MsgNodePool node_pool_;
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<FiberPool> pool_;  ///< lazily created (fiber backend, p > 1)
   BufferPool buffer_pool_;

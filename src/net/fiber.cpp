@@ -18,12 +18,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/math.hpp"
 
 // ---------------------------------------------------------------------------
 // Context switching.
@@ -275,13 +275,40 @@ struct FiberPool::Fiber {
   FiberPool* pool = nullptr;
 };
 
+/// Fixed-capacity ring of runnable fibers. A fiber is enqueued at most
+/// once (the kRunnable state gate), so the queue never holds more than the
+/// run's fiber count; run() reserves that capacity up front and the hot
+/// push/pop path allocates nothing — a std::deque here allocated a fresh
+/// chunk every 64 enqueues in steady state, the last per-message heap cost
+/// of the scheduler.
+class RunQueue {
+ public:
+  /// Ensures capacity for `n` queued fibers. Called between runs (queue
+  /// empty, no concurrent wakes).
+  void reserve(std::size_t n) {
+    if (ring_.size() >= n) return;
+    PMPS_CHECK(head_ == tail_);
+    ring_.assign(next_pow2(n), nullptr);
+    head_ = tail_ = 0;
+  }
+  bool empty() const { return head_ == tail_; }
+  void push(FiberPool::Fiber* f) {
+    ring_[tail_++ & (ring_.size() - 1)] = f;
+  }
+  FiberPool::Fiber* pop() { return ring_[head_++ & (ring_.size() - 1)]; }
+
+ private:
+  std::vector<FiberPool::Fiber*> ring_;  ///< power-of-two size
+  std::uint64_t head_ = 0, tail_ = 0;    ///< free-running (masked on use)
+};
+
 struct FiberPool::Impl {
   std::size_t stack_bytes;
 
   std::mutex mu;
   std::condition_variable work_cv;  ///< workers: run queue non-empty or stop
   std::condition_variable done_cv;  ///< run(): all fibers of this run done
-  std::deque<Fiber*> run_queue;
+  RunQueue run_queue;
   bool stop = false;
   int run_n = 0;
   int finished = 0;
@@ -347,7 +374,7 @@ void FiberPool::wake(int index) {
                                          std::memory_order_acq_rel)) {
         {
           std::lock_guard lock(impl_->mu);
-          impl_->run_queue.push_back(f);
+          impl_->run_queue.push(f);
         }
         impl_->work_cv.notify_one();
         return;
@@ -394,8 +421,7 @@ void FiberPool::worker_main() {
       impl_->work_cv.wait(
           lock, [this] { return impl_->stop || !impl_->run_queue.empty(); });
       if (impl_->run_queue.empty()) return;  // stop requested, nothing queued
-      f = impl_->run_queue.front();
-      impl_->run_queue.pop_front();
+      f = impl_->run_queue.pop();
     }
 
     f->state.store(kRunning, std::memory_order_relaxed);
@@ -418,7 +444,7 @@ void FiberPool::worker_main() {
         f->state.store(kRunnable, std::memory_order_relaxed);
         {
           std::lock_guard lock(impl_->mu);
-          impl_->run_queue.push_back(f);
+          impl_->run_queue.push(f);
         }
         impl_->work_cv.notify_one();
       }
@@ -461,8 +487,9 @@ void FiberPool::run(int n, const std::function<void(int)>& body) {
 
   {
     std::lock_guard lock(impl_->mu);
+    impl_->run_queue.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
-      impl_->run_queue.push_back(impl_->fibers[static_cast<std::size_t>(i)].get());
+      impl_->run_queue.push(impl_->fibers[static_cast<std::size_t>(i)].get());
   }
   impl_->work_cv.notify_all();
 

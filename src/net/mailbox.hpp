@@ -5,12 +5,24 @@
 // same sequence of operations), so matching is unambiguous and the whole
 // simulation is deterministic regardless of OS thread scheduling.
 //
-// Matching is a hash-map lookup keyed on exactly that triple — the seed
-// implementation's O(queue-length) deque scan made every retrieve linear in
-// the backlog, which dominated at large p. Wakeups are *targeted*: a mailbox
-// has exactly one consumer (its owning PE), which registers the key it is
-// waiting for; deposit() only wakes it when the deposited key matches that
-// registration, instead of notify_all-broadcasting on every deposit.
+// The store is a *slab mailbox*: an open-addressing key table (linear
+// probing, backward-shift deletion) whose slots head intrusively linked
+// FIFO lists of pooled message nodes. The previous
+// unordered_map<MsgKey, deque<Message>> paid one map-node allocation plus
+// a deque-segment allocation per key per backlog — per-message heap churn
+// on the hottest path of the whole simulator. Nodes now come from a
+// per-engine MsgNodePool (slab-allocated, recycled through an intrusive
+// free list, the BufferPool discipline applied to mailbox bookkeeping), so
+// deposit/retrieve allocate nothing once warm; the key table only
+// allocates when it grows, which stops once it reaches the run's working
+// set. Matching semantics, per-key FIFO order and virtual time are
+// untouched — the store is host-side bookkeeping the §2.1 cost model never
+// sees (docs/DESIGN.md §9).
+//
+// Wakeups are *targeted*: a mailbox has exactly one consumer (its owning
+// PE), which registers the key it is waiting for; deposit() only wakes it
+// when the deposited key matches that registration, instead of
+// notify_all-broadcasting on every deposit.
 //
 // Two blocking protocols share the same store: retrieve() blocks the calling
 // OS thread on a condition variable (legacy thread backend, single-PE inline
@@ -19,14 +31,18 @@
 
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/math.hpp"
 #include "common/random.hpp"
 
 namespace pmps::net {
@@ -52,40 +68,79 @@ struct Message {
 /// recycled buffer and receivers release() it once the payload has been
 /// copied out, so steady-state communication allocates nothing.
 ///
-/// acquire() returns an *empty* buffer (capacity retained from its previous
-/// life); the caller assigns the payload, which reuses the capacity when it
-/// suffices and grows it otherwise. Buffers keep their capacity while
-/// pooled, so the retained memory converges to the peak number of in-flight
-/// messages times the typical payload size — memory the simulation already
-/// needed at its peak. The free list is capped; beyond the cap release()
-/// simply frees.
+/// The free list is bucketed by power-of-two capacity classes:
+/// acquire(size_hint) returns a buffer whose retained capacity already
+/// covers the hint when one exists, so a small recycled buffer is never
+/// handed to a large payload only to be regrown (and a large buffer is not
+/// wasted on a 1-byte barrier token while a large send goes empty-handed).
+/// Buffers keep their capacity while pooled, so the retained memory
+/// converges to the peak number of in-flight messages times their payload
+/// sizes — memory the simulation already needed at its peak. The free
+/// list is capped; beyond the cap release() simply frees.
 class BufferPool {
  public:
-  /// Returns a recycled buffer (empty, capacity retained) or a fresh empty
-  /// vector when the free list is dry. Thread-safe: senders on any PE call
-  /// this concurrently.
-  std::vector<std::byte> acquire() {
+  /// Returns a recycled buffer (empty, capacity retained) with capacity of
+  /// at least `size_hint` bytes when the free list has one; otherwise the
+  /// best it can do is a fresh empty vector the caller's assign will grow.
+  /// Thread-safe: senders on any PE call this concurrently.
+  std::vector<std::byte> acquire(std::size_t size_hint) {
+    const int lo =
+        size_hint <= 1
+            ? 0
+            : std::min(floor_log2(static_cast<std::uint64_t>(size_hint)),
+                       kClasses - 1);
     std::lock_guard lock(mu_);
-    if (free_.empty()) return {};
-    std::vector<std::byte> buf = std::move(free_.back());
-    free_.pop_back();
-    return buf;
+    // Boundary class: its capacities share floor(log2) with the hint but
+    // may still fall short of it, so check before taking (in the common
+    // case — recurring payload sizes — the first candidate fits).
+    {
+      auto& cls = free_[static_cast<std::size_t>(lo)];
+      for (std::size_t i = cls.size(); i-- > 0;) {
+        if (cls[i].capacity() < size_hint) continue;
+        std::vector<std::byte> buf = std::move(cls[i]);
+        cls[i] = std::move(cls.back());
+        cls.pop_back();
+        --retained_;
+        return buf;
+      }
+    }
+    // Every buffer in a higher class is large enough by construction.
+    for (int c = lo + 1; c < kClasses; ++c) {
+      auto& cls = free_[static_cast<std::size_t>(c)];
+      if (cls.empty()) continue;
+      std::vector<std::byte> buf = std::move(cls.back());
+      cls.pop_back();
+      --retained_;
+      return buf;
+    }
+    return {};
   }
 
-  /// Returns a drained payload buffer to the free list (cleared, capacity
-  /// kept). Buffers beyond the retention cap — and moved-from husks with
-  /// no capacity — are simply dropped.
+  /// Returns a drained payload buffer to its capacity class (cleared,
+  /// capacity kept). Buffers beyond the retention cap — and moved-from
+  /// husks with no capacity — are simply dropped.
   void release(std::vector<std::byte>&& buf) {
     if (buf.capacity() == 0) return;
     buf.clear();
+    const int c =
+        std::min(floor_log2(static_cast<std::uint64_t>(buf.capacity())),
+                 kClasses - 1);
     std::lock_guard lock(mu_);
-    if (free_.size() < kMaxRetained) free_.push_back(std::move(buf));
+    if (retained_ < kMaxRetained) {
+      free_[static_cast<std::size_t>(c)].push_back(std::move(buf));
+      ++retained_;
+    }
   }
 
  private:
+  /// Capacity classes 2^0 … 2^47+: class c holds buffers with
+  /// floor(log2(capacity)) == c. A hint's own class is capacity-checked;
+  /// every buffer in a higher class has capacity >= 2^(c+1) > hint.
+  static constexpr int kClasses = 48;
   static constexpr std::size_t kMaxRetained = 8192;
   std::mutex mu_;
-  std::vector<std::vector<std::byte>> free_;
+  std::size_t retained_ = 0;
+  std::array<std::vector<std::vector<std::byte>>, kClasses> free_;
 };
 
 /// Matching key for point-to-point messages — the (communicator, tag,
@@ -99,7 +154,7 @@ struct MsgKey {
   friend bool operator==(const MsgKey&, const MsgKey&) = default;
 };
 
-/// Hash for the mailbox's per-key queues (mix64 over the triple).
+/// Hash for the mailbox's key table (mix64 over the triple).
 struct MsgKeyHash {
   std::size_t operator()(const MsgKey& k) const {
     std::uint64_t h = mix64(k.comm_id ^ (k.tag * 0x9e3779b97f4a7c15ULL));
@@ -108,25 +163,112 @@ struct MsgKeyHash {
   }
 };
 
-/// One PE's delivery endpoint: per-key FIFO queues behind one mutex, with
-/// a single registered consumer (the owning PE) and targeted wakeups. Any
-/// PE may deposit(); only the owner retrieves. The two retrieve flavours
-/// implement the two blocking protocols of the engine backends (OS-thread
-/// condition wait vs fiber park/wake — see the file comment).
+/// One pooled mailbox entry: a Message plus the intrusive link chaining
+/// same-key messages in FIFO order (or free-list nodes when recycled).
+struct MsgNode {
+  Message msg;
+  MsgNode* next = nullptr;
+};
+
+/// Slab allocator for MsgNodes, shared by all mailboxes of an engine
+/// (beside the payload BufferPool). Nodes are carved from chunked slabs,
+/// handed out through an intrusive free list and recycled on retrieve, so
+/// steady-state deposits allocate nothing; the slabs live until the pool
+/// is destroyed (their count converges to the peak number of in-flight
+/// messages). Thread-safe: any PE deposits into any mailbox.
+class MsgNodePool {
+ public:
+  MsgNodePool() = default;
+  MsgNodePool(const MsgNodePool&) = delete;
+  MsgNodePool& operator=(const MsgNodePool&) = delete;
+
+  MsgNode* acquire() {
+    std::lock_guard lock(mu_);
+    if (free_ == nullptr) grow_locked();
+    MsgNode* n = free_;
+    free_ = n->next;
+    n->next = nullptr;
+    return n;
+  }
+
+  /// Recycles a node. The caller normally moved the Message out already;
+  /// a node carrying a live payload (mailbox teardown) is reset here.
+  void release(MsgNode* n) {
+    n->msg = Message{};
+    std::lock_guard lock(mu_);
+    n->next = free_;
+    free_ = n;
+  }
+
+ private:
+  static constexpr std::size_t kSlabNodes = 256;
+
+  void grow_locked() {
+    slabs_.push_back(std::make_unique<MsgNode[]>(kSlabNodes));
+    MsgNode* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < kSlabNodes; ++i) {
+      slab[i].next = free_;
+      free_ = &slab[i];
+    }
+  }
+
+  std::mutex mu_;
+  MsgNode* free_ = nullptr;
+  std::vector<std::unique_ptr<MsgNode[]>> slabs_;
+};
+
+/// One PE's delivery endpoint: an open-addressing key table over pooled
+/// FIFO node lists behind one mutex, with a single registered consumer
+/// (the owning PE) and targeted wakeups. Any PE may deposit(); only the
+/// owner retrieves. The two retrieve flavours implement the two blocking
+/// protocols of the engine backends (OS-thread condition wait vs fiber
+/// park/wake — see the file comment).
 class Mailbox {
  public:
+  /// A standalone mailbox owns a private node pool; the engine replaces it
+  /// with the shared per-engine pool via set_node_pool before first use.
+  Mailbox() : owned_pool_(std::make_unique<MsgNodePool>()) {
+    pool_ = owned_pool_.get();
+  }
+
+  ~Mailbox() {
+    // Return any undrained nodes (teardown after a failed run); release()
+    // frees their payloads. The pool outlives the mailbox: the engine
+    // declares its shared pool before the PE contexts, and the owned
+    // fallback is a member destroyed after this body runs.
+    for (Slot& s : slots_) {
+      MsgNode* n = s.head;
+      while (n != nullptr) {
+        MsgNode* next = n->next;
+        pool_->release(n);
+        n = next;
+      }
+    }
+  }
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Points the mailbox at a shared node pool (the engine's). Must be
+  /// called before any deposit.
+  void set_node_pool(MsgNodePool* pool) {
+    PMPS_ASSERT(size_ == 0);
+    pool_ = pool;
+  }
+
   /// Deposits `m`. If the owning PE is registered waiting on exactly `m`'s
   /// key, the registration is consumed and `wake()` is invoked — a targeted
   /// wakeup of the one consumer, never a broadcast. `wake` runs outside the
   /// mailbox lock; the waiter re-checks the store after resuming.
   template <typename Wake>
   void deposit(Message&& m, Wake&& wake) {
+    MsgNode* node = pool_->acquire();
+    node->msg = std::move(m);
     bool woke = false;
     {
       std::lock_guard lock(mu_);
-      const MsgKey key{m.comm_id, m.tag, m.src_pe};
-      queues_[key].push_back(std::move(m));
-      ++size_;
+      const MsgKey key{node->msg.comm_id, node->msg.tag, node->msg.src_pe};
+      push_locked(key, node);
       if (waiting_ && waiting_key_ == key) {
         waiting_ = false;
         woke = true;
@@ -145,7 +287,10 @@ class Mailbox {
   Message retrieve(const MsgKey& key) {
     std::unique_lock lock(mu_);
     for (;;) {
-      if (auto m = pop_locked(key)) return std::move(*m);
+      if (MsgNode* n = pop_locked(key)) {
+        lock.unlock();
+        return take(n);
+      }
       waiting_ = true;
       waiting_key_ = key;
       cv_.wait(lock);
@@ -160,12 +305,18 @@ class Mailbox {
   template <typename OnBlock>
   std::optional<Message> retrieve_or_block(const MsgKey& key,
                                            OnBlock&& on_block) {
-    std::lock_guard lock(mu_);
-    if (auto m = pop_locked(key)) return m;
-    waiting_ = true;
-    waiting_key_ = key;
-    on_block();
-    return std::nullopt;
+    MsgNode* n = nullptr;
+    {
+      std::lock_guard lock(mu_);
+      n = pop_locked(key);
+      if (n == nullptr) {
+        waiting_ = true;
+        waiting_key_ = key;
+        on_block();
+        return std::nullopt;
+      }
+    }
+    return take(n);
   }
 
   /// True when no message is queued (used by the engine's end-of-run
@@ -176,22 +327,113 @@ class Mailbox {
   }
 
  private:
-  std::optional<Message> pop_locked(const MsgKey& key) {
-    const auto it = queues_.find(key);
-    if (it == queues_.end()) return std::nullopt;
-    Message m = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) queues_.erase(it);
-    --size_;
+  /// One key-table entry: the key plus its FIFO list. head == nullptr
+  /// marks the slot empty.
+  struct Slot {
+    MsgKey key;
+    MsgNode* head = nullptr;
+    MsgNode* tail = nullptr;
+  };
+
+  static constexpr std::size_t kInitialSlots = 16;
+
+  /// Moves the message out and recycles the node.
+  Message take(MsgNode* n) {
+    Message m = std::move(n->msg);
+    pool_->release(n);
     return m;
+  }
+
+  /// Linear probe: the slot holding `key`, or the first empty slot on its
+  /// probe path. Terminates because the table never exceeds 70% load.
+  std::size_t probe_locked(const MsgKey& key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = MsgKeyHash{}(key) & mask;
+    while (slots_[i].head != nullptr && !(slots_[i].key == key))
+      i = (i + 1) & mask;
+    return i;
+  }
+
+  void push_locked(const MsgKey& key, MsgNode* node) {
+    node->next = nullptr;
+    if (slots_.empty()) slots_.resize(kInitialSlots);
+    std::size_t i = probe_locked(key);
+    if (slots_[i].head == nullptr) {
+      // New key: grow first when this insert would cross 70% load, so
+      // probe chains stay short and deletion stays cheap.
+      if ((used_ + 1) * 10 > slots_.size() * 7) {
+        grow_locked();
+        i = probe_locked(key);
+      }
+      Slot& s = slots_[i];
+      s.key = key;
+      s.head = s.tail = node;
+      ++used_;
+    } else {
+      Slot& s = slots_[i];
+      s.tail->next = node;
+      s.tail = node;
+    }
+    ++size_;
+  }
+
+  MsgNode* pop_locked(const MsgKey& key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t i = probe_locked(key);
+    Slot& s = slots_[i];
+    if (s.head == nullptr) return nullptr;
+    MsgNode* node = s.head;
+    s.head = node->next;
+    if (s.head == nullptr) erase_locked(i);
+    node->next = nullptr;
+    --size_;
+    return node;
+  }
+
+  /// Backward-shift deletion for linear probing: refill slot `i` by
+  /// walking forward and moving back the first entry whose probe path
+  /// passes through `i`, repeating from the hole that move leaves. No
+  /// tombstones, so lookup cost never degrades with churn.
+  void erase_locked(std::size_t i) {
+    --used_;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+      slots_[i].head = nullptr;
+      slots_[i].tail = nullptr;
+      std::size_t ideal;
+      do {
+        j = (j + 1) & mask;
+        if (slots_[j].head == nullptr) return;
+        ideal = MsgKeyHash{}(slots_[j].key) & mask;
+        // Entry j must stay if its ideal slot lies strictly inside (i, j].
+      } while (((j - ideal) & mask) < ((j - i) & mask));
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  /// Doubles the table (allocation happens only here; once the table
+  /// covers the run's concurrent-key working set it never grows again).
+  void grow_locked() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    used_ = 0;
+    for (const Slot& s : old) {
+      if (s.head == nullptr) continue;
+      const std::size_t i = probe_locked(s.key);
+      slots_[i] = s;
+      ++used_;
+    }
   }
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  /// Per-key FIFO queues: same-key messages (repeated sends on one tag from
-  /// one source) keep their deposit order.
-  std::unordered_map<MsgKey, std::deque<Message>, MsgKeyHash> queues_;
-  std::size_t size_ = 0;
+  std::unique_ptr<MsgNodePool> owned_pool_;  ///< standalone fallback
+  MsgNodePool* pool_;  ///< the engine's shared pool (or owned_pool_)
+  std::vector<Slot> slots_;  ///< open-addressing key table (pow2 size)
+  std::size_t used_ = 0;     ///< occupied slots (distinct queued keys)
+  std::size_t size_ = 0;     ///< queued messages
   bool waiting_ = false;
   MsgKey waiting_key_{};
 };

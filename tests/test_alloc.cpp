@@ -1,0 +1,266 @@
+// Allocation-counting harness for the zero-allocation message path
+// (docs/DESIGN.md §9).
+//
+// This binary replaces the global operator new/delete with counting
+// versions. Two kinds of assertion:
+//
+//  * Unit level: the exact components of the send→deposit→retrieve path
+//    (BufferPool, MsgNodePool, the slab Mailbox, SendPlan) perform zero
+//    heap allocations once warm, measured single-threaded with no
+//    scheduler in the way.
+//
+//  * Engine level: a full engine run's allocation count is *independent of
+//    the number of message rounds* — run R rounds and 16·R rounds after a
+//    warm-up run and the counts must be equal, i.e. the per-round
+//    steady-state message path (p2p ping-pong, and a reused-SendPlan
+//    sparse exchange including its Bruck counts rounds and termination
+//    barrier) allocates exactly nothing. Per-run fixed costs (Comm
+//    construction, std::function, scheduler bookkeeping) cancel out of the
+//    comparison. Run with the fiber backend pinned to one worker so the
+//    cooperative schedule — and with it the count — is deterministic.
+//
+// No gtest machinery (which allocates freely) runs inside a measured
+// window.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "coll/send_plan.hpp"
+#include "net/comm.hpp"
+#include "net/engine.hpp"
+#include "net/fiber.hpp"
+#include "net/mailbox.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::int64_t> g_allocs{0};
+
+}  // namespace
+
+// The replaced operator new allocates with malloc, so free() in the
+// replaced deletes is the matching deallocator; GCC's pairing heuristic
+// cannot see that and warns spuriously.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace pmps {
+namespace {
+
+using net::Comm;
+using net::Engine;
+using net::EngineBackend;
+using net::MachineParams;
+using net::Message;
+using net::MsgKey;
+
+/// Runs `body` with counting enabled and returns the number of operator
+/// new calls it performed.
+template <typename Body>
+std::int64_t count_allocs(Body&& body) {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  body();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Unit level: the path's components, single-threaded
+// ---------------------------------------------------------------------------
+
+TEST(AllocCount, SendDepositRetrievePathIsAllocationFreeWhenWarm) {
+  net::Mailbox mb;
+  net::BufferPool pool;
+  constexpr std::size_t kBytes = 192;
+
+  // Exactly what Comm::send_bytes / recv_bytes do around the mailbox.
+  const auto send = [&](std::uint64_t tag, int src) {
+    Message m;
+    m.comm_id = 1;
+    m.tag = tag;
+    m.src_pe = src;
+    m.payload = pool.acquire(kBytes);
+    m.payload.assign(kBytes, std::byte{0x5a});
+    mb.deposit(std::move(m));
+  };
+  const auto recv = [&](std::uint64_t tag, int src) {
+    Message m = mb.retrieve(MsgKey{1, tag, src});
+    pool.release(std::move(m.payload));
+  };
+
+  // A small backlog (3 keys live at once) exercises slot insert +
+  // backward-shift deletion, not just the single-slot fast path.
+  const auto churn = [&](int iterations) {
+    for (int i = 0; i < iterations; ++i) {
+      send(0, 0);
+      send(1, 1);
+      send(2, 0);
+      recv(1, 1);
+      recv(0, 0);
+      recv(2, 0);
+    }
+  };
+
+  churn(16);  // warm-up: node pool, key table, payload pool at peak depth
+  const std::int64_t allocs = count_allocs([&] { churn(256); });
+  EXPECT_EQ(allocs, 0);
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(AllocCount, BufferPoolSizeHintAvoidsRegrow) {
+  net::BufferPool pool;
+  pool.release(std::vector<std::byte>(4096));
+  pool.release(std::vector<std::byte>(16));
+
+  // The hint must return the big recycled buffer even though the small one
+  // was released more recently; assigning the payload then reuses its
+  // capacity instead of regrowing.
+  const std::int64_t allocs = count_allocs([&] {
+    std::vector<std::byte> buf = pool.acquire(4096);
+    buf.assign(4096, std::byte{1});
+    pool.release(std::move(buf));
+  });
+  EXPECT_EQ(allocs, 0);
+
+  // And the small buffer is still pooled for small requests.
+  std::vector<std::byte> small = pool.acquire(8);
+  EXPECT_GE(small.capacity(), 8u);
+  EXPECT_LT(small.capacity(), 4096u);
+}
+
+TEST(AllocCount, SendPlanReuseIsAllocationFree) {
+  coll::SendPlan<std::int64_t> plan;
+  const std::int64_t payload[16] = {};
+  const auto fill = [&] {
+    plan.clear();
+    for (int piece = 0; piece < 32; ++piece)
+      plan.add(piece % 7, std::span<const std::int64_t>(payload, 16));
+  };
+  fill();  // warm: buffers grow to their final capacity once
+  const std::int64_t allocs = count_allocs([&] {
+    for (int round = 0; round < 64; ++round) fill();
+  });
+  EXPECT_EQ(allocs, 0);
+  EXPECT_EQ(plan.pieces(), 32);
+  EXPECT_EQ(plan.total(), 32 * 16);
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: allocation count independent of the round count
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// R rounds of ring ping-pong through the full Comm→Engine→Mailbox path,
+/// received with recv_into (the path's non-allocating receive).
+void ring_rounds(Comm& comm, int rounds) {
+  const int p = comm.size();
+  std::int64_t out[8] = {comm.rank(), 1, 2, 3, 4, 5, 6, 7};
+  std::int64_t in[8];
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t tag = comm.next_tag_block();
+    comm.send<std::int64_t>((comm.rank() + 1) % p, tag,
+                            std::span<const std::int64_t>(out, 8));
+    comm.recv_into<std::int64_t>((comm.rank() - 1 + p) % p, tag,
+                                 std::span<std::int64_t>(in, 8));
+  }
+}
+
+/// R rounds of a reused-plan sparse exchange with a non-allocating sink —
+/// includes the uncharged Bruck counts exchange and the termination
+/// barrier, i.e. the whole sparse path.
+void sparse_rounds(Comm& comm, int rounds) {
+  const int p = comm.size();
+  coll::SendPlan<std::int64_t> plan;
+  const std::int64_t payload[4] = {comm.rank(), 1, 2, 3};
+  std::int64_t acc = 0;
+  for (int r = 0; r < rounds; ++r) {
+    plan.clear();
+    for (int j = 1; j <= 3 && j < p; ++j)
+      plan.add((comm.rank() + j) % p,
+               std::span<const std::int64_t>(payload, 4));
+    coll::sparse_exchange_into<std::int64_t>(
+        comm, plan, [&](int, std::span<const std::int64_t> piece) {
+          for (auto v : piece) acc += v;
+        });
+  }
+  if (acc == -1) std::abort();  // keep the accumulation observable
+}
+
+std::int64_t engine_run_allocs(Engine& engine, void (*body)(Comm&, int),
+                               int rounds) {
+  return count_allocs(
+      [&] { engine.run([&](Comm& comm) { body(comm, rounds); }); });
+}
+
+}  // namespace
+
+TEST(AllocCount, EngineP2PSteadyStateAllocatesNothingPerRound) {
+  if (!net::fibers_supported()) GTEST_SKIP() << "no fiber backend here";
+  // One worker ⇒ deterministic cooperative schedule ⇒ exact counts.
+  setenv("PMPS_FIBER_WORKERS", "1", 1);
+  {
+    Engine engine(8, MachineParams::supermuc_like(), 1,
+                  EngineBackend::kFibers);
+    engine.run([](Comm& comm) { ring_rounds(comm, 64); });  // warm-up
+    const std::int64_t few = engine_run_allocs(engine, ring_rounds, 4);
+    const std::int64_t many = engine_run_allocs(engine, ring_rounds, 64);
+    // Equal totals ⇒ the 60 extra rounds allocated exactly nothing.
+    EXPECT_EQ(few, many);
+  }
+  unsetenv("PMPS_FIBER_WORKERS");
+}
+
+TEST(AllocCount, SparseExchangeSteadyStateAllocatesNothingPerRound) {
+  if (!net::fibers_supported()) GTEST_SKIP() << "no fiber backend here";
+  setenv("PMPS_FIBER_WORKERS", "1", 1);
+  {
+    Engine engine(8, MachineParams::supermuc_like(), 1,
+                  EngineBackend::kFibers);
+    engine.run([](Comm& comm) { sparse_rounds(comm, 32); });  // warm-up
+    const std::int64_t few = engine_run_allocs(engine, sparse_rounds, 2);
+    const std::int64_t many = engine_run_allocs(engine, sparse_rounds, 32);
+    EXPECT_EQ(few, many);
+  }
+  unsetenv("PMPS_FIBER_WORKERS");
+}
+
+}  // namespace
+}  // namespace pmps

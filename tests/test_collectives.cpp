@@ -327,10 +327,13 @@ TEST_P(CollectivesP, SparseExchangeRoutesMessages) {
   run([](Comm& comm) {
     const int p = comm.size();
     // Each PE sends two messages to (rank+1)%p and one to (rank+2)%p.
-    std::vector<OutMessage<std::int64_t>> out;
-    out.push_back({(comm.rank() + 1) % p, {comm.rank(), 1}});
-    out.push_back({(comm.rank() + 1) % p, {comm.rank(), 2}});
-    out.push_back({(comm.rank() + 2) % p, {comm.rank(), 3}});
+    SendPlan<std::int64_t> out;
+    const std::int64_t m1[] = {comm.rank(), 1};
+    const std::int64_t m2[] = {comm.rank(), 2};
+    const std::int64_t m3[] = {comm.rank(), 3};
+    out.add((comm.rank() + 1) % p, std::span<const std::int64_t>(m1, 2));
+    out.add((comm.rank() + 1) % p, std::span<const std::int64_t>(m2, 2));
+    out.add((comm.rank() + 2) % p, std::span<const std::int64_t>(m3, 2));
     auto in = sparse_exchange(comm, out);
     ASSERT_EQ(in.count(), 3);
     ASSERT_EQ(static_cast<int>(in.srcs.size()), in.parts.parts());
@@ -355,8 +358,10 @@ TEST(SparseExchange, ChargesOnlyActualMessagesPlusBarrier) {
   const int p = 32;
   Engine engine(p, MachineParams::supermuc_like(), 3);
   engine.run([&](Comm& comm) {
-    std::vector<OutMessage<std::int64_t>> out;
-    if (comm.rank() == 0) out.push_back({1, {1, 2, 3}});
+    SendPlan<std::int64_t> out;
+    const std::int64_t payload[] = {1, 2, 3};
+    if (comm.rank() == 0)
+      out.add(1, std::span<const std::int64_t>(payload, 3));
     (void)sparse_exchange(comm, out);
   });
   // Sent messages per PE: the one payload (rank 0) + barrier rounds (5).
