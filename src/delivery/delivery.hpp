@@ -36,6 +36,18 @@
 // All variants ship payloads with coll::sparse_exchange, so their startup
 // guarantees are directly observable in the simulator's message statistics
 // (tests assert them).
+//
+// Unreliable networks (net/network_model.hpp, docs/DESIGN.md §10): when a
+// lossy NetworkModel is installed, every point-to-point send underneath
+// these exchanges runs a stop-and-wait ack/retransmit protocol at the send
+// site. The delivery layer is deliberately oblivious to it: exactly one
+// copy of each message reaches the destination mailbox (duplicates are
+// suppressed by the transport), deposits stay in sender program order so
+// per-key FIFO matching — which the piece/fragment sequencing here relies
+// on — is preserved, and retry exhaustion aborts the run with a
+// NetworkError instead of wedging a receiver. Loss and jitter therefore
+// change *virtual time* (and the retransmit counters in CommStats), never
+// the delivered assignment.
 
 #pragma once
 

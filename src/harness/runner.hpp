@@ -17,6 +17,7 @@
 #include "harness/verify.hpp"
 #include "harness/workloads.hpp"
 #include "net/engine.hpp"
+#include "net/network_model.hpp"
 #include "rlm/rlm_sort.hpp"
 
 namespace pmps::harness {
@@ -56,6 +57,12 @@ struct RunConfig {
   /// Execution backend (fibers by default; kThreads for differential runs).
   net::EngineBackend backend = net::EngineBackend::kAuto;
 
+  /// Network fault injection: loss (+ ack/retransmit layer), jitter,
+  /// stragglers — seeded from `seed`, so a run replays bit-identically.
+  /// All-defaults (FaultConfig::any() == false) installs no model at all
+  /// and the run is bit-identical to pre-fault-injection behavior.
+  net::FaultConfig faults;
+
   /// Per-PE element-storage budget (0 = in-memory). Applies to the AMS,
   /// RLM, and GV sorters; spill counters are reported in RunResult::spill.
   em::MemoryBudget budget;
@@ -73,11 +80,16 @@ struct RunResult {
 
   double wall_time() const { return report.wall_time; }
   double phase(net::Phase p) const { return report.phase(p); }
+  /// Reliability-layer totals (retransmits, drops, duplicates) summed over
+  /// PEs; all zero on a clean run.
+  const net::FaultTotals& faults() const { return report.faults; }
 };
 
 /// Runs one experiment end to end on a fresh engine.
 inline RunResult run_sort_experiment(const RunConfig& cfg) {
-  net::Engine engine(cfg.p, cfg.machine, cfg.seed, cfg.backend);
+  net::MachineParams machine = cfg.machine;
+  if (cfg.faults.any()) machine.model = cfg.faults.build(cfg.p, cfg.seed);
+  net::Engine engine(cfg.p, machine, cfg.seed, cfg.backend);
   RunResult result;
   std::mutex mu;
 

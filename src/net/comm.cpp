@@ -1,9 +1,11 @@
 #include "net/comm.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/math.hpp"
+#include "net/network_model.hpp"
 
 namespace pmps::net {
 
@@ -47,11 +49,13 @@ void Comm::send_bytes(int dest_rank, std::uint64_t tag,
   const MachineParams& m = machine();
   const LinkLevel lvl = m.level_between(ctx_->pe, dest_pe);
 
+  double arrival;
   if (ctx_->free_mode || lvl == LinkLevel::kSelf) {
     if (!ctx_->free_mode) {
       // Local move: charged as a copy, not a network message.
       ctx_->advance(m.copy_cost(payload.size_bytes()));
     }
+    arrival = ctx_->clock;
   } else {
     double cost = m.message_cost(lvl, payload.size_bytes());
     if (m.comm_noise_frac > 0) {
@@ -59,7 +63,15 @@ void Comm::send_bytes(int dest_rank, std::uint64_t tag,
       cost *= std::max(0.05, f);
     }
     if (lvl != LinkLevel::kNode) cost *= engine_->run_congestion();
-    ctx_->advance(cost);
+    if (m.model == nullptr) {
+      // Clean network: arrival is the sender-finish time (single-ported
+      // model). This is the default path, untouched by fault injection.
+      ctx_->advance(cost);
+      arrival = ctx_->clock;
+    } else {
+      arrival =
+          send_with_model(*m.model, lvl, dest_pe, payload.size_bytes(), cost);
+    }
     ctx_->stats.messages_sent += 1;
     ctx_->stats.phase_messages_sent[static_cast<int>(ctx_->phase)] += 1;
     ctx_->stats.bytes_sent += static_cast<std::int64_t>(payload.size_bytes());
@@ -69,10 +81,54 @@ void Comm::send_bytes(int dest_rank, std::uint64_t tag,
   msg.comm_id = comm_id_;
   msg.tag = tag;
   msg.src_pe = ctx_->pe;
-  msg.arrival = ctx_->clock;  // sender-finish time in the single-ported model
+  msg.arrival = arrival;
   msg.payload = engine_->buffer_pool().acquire(payload.size_bytes());
   msg.payload.assign(payload.begin(), payload.end());
   engine_->deposit_message(dest_pe, std::move(msg));
+}
+
+double Comm::send_with_model(const NetworkModel& model, LinkLevel lvl,
+                             int dest_pe, std::size_t bytes, double cost) {
+  MsgAttempt a;
+  a.src_pe = ctx_->pe;
+  a.dst_pe = dest_pe;
+  a.level = lvl;
+  a.bytes = bytes;
+  a.seq = ctx_->send_seq++;
+
+  if (!model.lossy()) {
+    // Jitter-only model: one stretched transmission, no protocol.
+    ctx_->advance(cost * model.latency_factor(a));
+    return ctx_->clock + model.extra_delay(a);
+  }
+
+  const RetransmitParams rp = model.retransmit();
+  const double ack_cost = machine().message_cost(lvl, rp.ack_bytes);
+  const double start = ctx_->clock;
+  const ReliableOutcome out =
+      simulate_reliable_send(model, rp, a, cost, ack_cost);
+
+  if (!out.delivered) {
+    char why[160];
+    std::snprintf(why, sizeof why,
+                  "reliable send PE %d -> PE %d (seq %llu): no ack after %d "
+                  "attempts, retry budget exhausted",
+                  ctx_->pe, dest_pe, static_cast<unsigned long long>(a.seq),
+                  out.attempts);
+    engine_->abort_run(why);
+    throw NetworkError(why);
+  }
+
+  ctx_->advance(out.finish_dt);
+  ctx_->stats.faults.retransmits += out.retransmits;
+  ctx_->stats.faults.data_drops += out.data_drops;
+  ctx_->stats.faults.ack_drops += out.ack_drops;
+  ctx_->stats.faults.dup_data += out.dup_data;
+  ctx_->stats.faults.dup_acks += out.dup_acks;
+  // First-try success means arrival_dt == finish_dt, and the arrival must
+  // equal the sender's clock *bit for bit* (start + dt would re-round);
+  // only reconstruct an absolute arrival when the protocol decoupled them.
+  return out.arrival_dt == out.finish_dt ? ctx_->clock : start + out.arrival_dt;
 }
 
 Message Comm::recv_bytes(int src_rank, std::uint64_t tag) {

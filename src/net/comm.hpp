@@ -44,7 +44,12 @@ class Comm {
 
   // --- virtual time ---------------------------------------------------------
   double now() const { return ctx_->clock; }
-  void charge(double seconds) const { ctx_->advance(seconds); }
+  /// Charges local computation. Straggler PEs (NetworkModel compute
+  /// dilation) run it dilation× slower; healthy PEs multiply by exactly
+  /// 1.0, which keeps the clean path bit-identical.
+  void charge(double seconds) const {
+    ctx_->advance(seconds * ctx_->dilation);
+  }
   void set_phase(Phase p) const { ctx_->phase = p; }
   Phase phase() const { return ctx_->phase; }
 
@@ -140,6 +145,13 @@ class Comm {
   Comm(Engine* engine, PeContext* ctx,
        std::shared_ptr<const std::vector<int>> members, int rank,
        std::uint64_t comm_id);
+
+  /// Network send under an installed NetworkModel (jitter-only, or the full
+  /// ack/retransmit protocol when the model is lossy): advances the sender's
+  /// clock and returns the message's virtual arrival time at the receiver.
+  /// Throws NetworkError (after Engine::abort_run) on retry exhaustion.
+  double send_with_model(const NetworkModel& model, LinkLevel lvl, int dest_pe,
+                         std::size_t bytes, double cost);
 
   Engine* engine_;
   PeContext* ctx_;

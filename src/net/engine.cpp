@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "net/comm.hpp"
 #include "net/fiber.hpp"
+#include "net/network_model.hpp"
 
 namespace pmps::net {
 
@@ -82,19 +83,45 @@ void Engine::run(const std::function<void(Comm&)>& program) {
   }
   ++run_counter_;
 
+  failed_.store(false, std::memory_order_relaxed);
   for (auto& ctx : pes_) {
+    // A failed (aborted) run legitimately leaves undelivered traffic and
+    // poisoned mailboxes behind; flush both before reuse. After a clean
+    // run an undrained mailbox is still a program bug.
+    if (drain_needed_) ctx->mailbox.drain();
     PMPS_CHECK_MSG(ctx->mailbox.empty(),
                    "mailbox not drained by previous run");
     ctx->clock = 0;
     ctx->phase = Phase::kOther;
     ctx->stats = CommStats{};
+    ctx->send_seq = 0;
+    ctx->dilation =
+        machine_.model ? machine_.model->compute_dilation(ctx->pe) : 1.0;
     // Reset the RNG streams so repeated runs are bit-identical.
     ctx->rng = Xoshiro256(seed_, static_cast<std::uint64_t>(ctx->pe));
     ctx->noise_rng =
         Xoshiro256(seed_ ^ 0x6e6f697365ULL, static_cast<std::uint64_t>(ctx->pe));
   }
+  drain_needed_ = false;
+
+  // Per-PE body: on an aborted run the origin PE unwinds on the
+  // NetworkError it threw (abort_run already recorded it) and every other
+  // PE on the RunAborted its poisoned mailbox raises; both stop here so
+  // the backend's fiber/thread finishes normally and run() can rethrow
+  // once, after the join. Any other exception still propagates (and, on
+  // the fiber backend, terminates — see fiber.hpp).
+  const auto body = [this, &program](int pe) {
+    Comm comm(this, pe);
+    try {
+      program(comm);
+    } catch (const RunAborted&) {
+    } catch (const NetworkError&) {
+    }
+  };
 
   if (num_pes_ == 1) {
+    // Inline run: a single PE only ever sends to itself (kSelf links carry
+    // no faults), so no abort can originate and no wrapper is needed.
     Comm comm(this, 0);
     program(comm);
     return;
@@ -105,22 +132,37 @@ void Engine::run(const std::function<void(Comm&)>& program) {
       pool_ = std::make_unique<FiberPool>(fiber_workers(num_pes_),
                                           fiber_stack_bytes());
     }
-    pool_->run(num_pes_, [this, &program](int pe) {
-      Comm comm(this, pe);
-      program(comm);
-    });
-    return;
+    pool_->run(num_pes_, body);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_pes_));
+    for (int i = 0; i < num_pes_; ++i) threads.emplace_back(body, i);
+    for (auto& t : threads) t.join();
   }
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(num_pes_));
-  for (int i = 0; i < num_pes_; ++i) {
-    threads.emplace_back([this, i, &program] {
-      Comm comm(this, i);
-      program(comm);
-    });
+  if (failed_.load(std::memory_order_acquire)) {
+    drain_needed_ = true;
+    std::lock_guard lock(fail_mu_);
+    throw NetworkError(fail_msg_);
   }
-  for (auto& t : threads) t.join();
+}
+
+void Engine::abort_run(const std::string& why) {
+  {
+    std::lock_guard lock(fail_mu_);
+    if (!failed_.exchange(true, std::memory_order_acq_rel)) fail_msg_ = why;
+  }
+  // Poison every mailbox (the origin PE's too — it unwinds on its own
+  // NetworkError and must not block again). Same wake discipline as
+  // deposit_message, so a registered waiter is always resumed.
+  for (auto& ctx : pes_) {
+    const int pe = ctx->pe;
+    if (backend_ == EngineBackend::kFibers && pool_) {
+      ctx->mailbox.poison([this, pe] { pool_->wake(pe); });
+    } else {
+      ctx->mailbox.poison();
+    }
+  }
 }
 
 void Engine::deposit_message(int dest_pe, Message&& m) {
@@ -160,6 +202,7 @@ RunReport Engine::report() const {
     r.max_messages_sent =
         std::max(r.max_messages_sent, ctx->stats.messages_sent);
     r.total_bytes_sent += ctx->stats.bytes_sent;
+    r.faults += ctx->stats.faults;
   }
   return r;
 }

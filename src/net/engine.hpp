@@ -23,9 +23,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/random.hpp"
@@ -65,6 +68,13 @@ struct PeContext {
   double clock = 0;  ///< virtual time (seconds)
   Phase phase = Phase::kOther;
   bool free_mode = false;  ///< suppress all charging (precomputation steps)
+  /// Straggler dilation from the machine's NetworkModel (1.0 when healthy):
+  /// multiplies local-computation charges (Comm::charge) only — waiting
+  /// (advance_to) and communication costs are not compute-bound.
+  double dilation = 1.0;
+  /// Per-run ordinal of the next network send: the replay-stable identity
+  /// the NetworkModel hashes its fault decisions from.
+  std::uint64_t send_seq = 0;
   Mailbox mailbox;
   CommStats stats;
   CollScratch coll_scratch;
@@ -140,6 +150,13 @@ class Engine {
   /// in mailbox.hpp).
   MsgNodePool& node_pool() { return node_pool_; }
 
+  /// Aborts the current run with a per-run error: records the first `why`,
+  /// poisons every mailbox so blocked PEs unwind (RunAborted) instead of
+  /// waiting forever for a dead sender, and makes run() rethrow the reason
+  /// as a NetworkError after every PE has finished. Called by Comm when a
+  /// lossy NetworkModel exhausts its retry budget; safe from any PE.
+  void abort_run(const std::string& why);
+
   /// Aggregated results of the last run().
   RunReport report() const;
 
@@ -156,6 +173,11 @@ class Engine {
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<FiberPool> pool_;  ///< lazily created (fiber backend, p > 1)
   BufferPool buffer_pool_;
+  // --- abort state (lossy NetworkModel runs only) --------------------------
+  std::atomic<bool> failed_{false};
+  std::mutex fail_mu_;
+  std::string fail_msg_;        ///< first abort_run reason (under fail_mu_)
+  bool drain_needed_ = false;   ///< last run failed; drain mailboxes first
 };
 
 /// Convenience: build an engine, run `program`, return the report.

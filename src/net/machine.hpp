@@ -15,8 +15,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 namespace pmps::net {
+
+class NetworkModel;  // network_model.hpp: pluggable fault injection
 
 /// Topology distance between two PEs.
 enum class LinkLevel : int {
@@ -56,6 +59,12 @@ struct MachineParams {
   // non-node communication. This is what spreads run-time distributions —
   // i.i.d. per-message noise averages out over many messages.
   double congestion_noise_frac = 0.0;
+
+  // --- faults --------------------------------------------------------------
+  // Pluggable network-fault model (network_model.hpp): per-link jitter,
+  // seeded message loss behind an ack/retransmit layer, straggler PEs.
+  // nullptr (the default) takes the exact clean α–β cost path, bit for bit.
+  std::shared_ptr<const NetworkModel> model;
 
   /// SuperMUC-like preset: Sandy Bridge-EP nodes at 2.3 GHz, FDR10
   /// Infiniband, 4:1 pruned inter-island tree. Constants calibrated to land

@@ -38,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -217,6 +218,16 @@ class MsgNodePool {
   std::vector<std::unique_ptr<MsgNode[]>> slabs_;
 };
 
+/// Thrown out of a retrieve when the mailbox has been poisoned — the run
+/// was aborted (e.g. NetworkError retry exhaustion on some other PE) and a
+/// receiver that might otherwise wait forever for a dead sender must unwind
+/// instead. Caught by the engine's per-PE body wrapper; user programs never
+/// see it.
+class RunAborted : public std::runtime_error {
+ public:
+  RunAborted() : std::runtime_error("simulated run aborted") {}
+};
+
 /// One PE's delivery endpoint: an open-addressing key table over pooled
 /// FIFO node lists behind one mutex, with a single registered consumer
 /// (the owning PE) and targeted wakeups. Any PE may deposit(); only the
@@ -284,9 +295,11 @@ class Mailbox {
 
   /// Blocks the calling OS thread until a message matching `key` is present
   /// and removes it (legacy thread backend and single-PE inline runs).
+  /// Throws RunAborted once the mailbox is poisoned.
   Message retrieve(const MsgKey& key) {
     std::unique_lock lock(mu_);
     for (;;) {
+      if (poisoned_) throw RunAborted{};
       if (MsgNode* n = pop_locked(key)) {
         lock.unlock();
         return take(n);
@@ -308,6 +321,9 @@ class Mailbox {
     MsgNode* n = nullptr;
     {
       std::lock_guard lock(mu_);
+      // Poison check under the lock, before registering: the fiber has not
+      // called on_block yet, so it unwinds as a normally running fiber.
+      if (poisoned_) throw RunAborted{};
       n = pop_locked(key);
       if (n == nullptr) {
         waiting_ = true;
@@ -324,6 +340,51 @@ class Mailbox {
   bool empty() const {
     std::lock_guard lock(mu_);
     return size_ == 0;
+  }
+
+  /// Aborts the consumer: marks the mailbox poisoned (every subsequent or
+  /// pending retrieve throws RunAborted) and, exactly like deposit, consumes
+  /// a waiting registration and invokes `wake()` outside the lock so a
+  /// parked fiber / blocked thread re-checks and unwinds. Idempotent.
+  template <typename Wake>
+  void poison(Wake&& wake) {
+    bool woke = false;
+    {
+      std::lock_guard lock(mu_);
+      poisoned_ = true;
+      if (waiting_) {
+        waiting_ = false;
+        woke = true;
+      }
+    }
+    if (woke) wake();
+  }
+
+  /// Thread-backend poison: condition-variable notification.
+  void poison() {
+    poison([this] { cv_.notify_one(); });
+  }
+
+  /// Clears the poison flag and releases every queued message (payload
+  /// buffers are freed with their nodes). Called by the engine before the
+  /// run after a failed one, so an aborted simulation's undrained traffic
+  /// does not trip the next run's leak check.
+  void drain() {
+    std::lock_guard lock(mu_);
+    for (Slot& s : slots_) {
+      MsgNode* n = s.head;
+      while (n != nullptr) {
+        MsgNode* next = n->next;
+        pool_->release(n);
+        n = next;
+      }
+      s.head = nullptr;
+      s.tail = nullptr;
+    }
+    used_ = 0;
+    size_ = 0;
+    poisoned_ = false;
+    waiting_ = false;
   }
 
  private:
@@ -435,6 +496,7 @@ class Mailbox {
   std::size_t used_ = 0;     ///< occupied slots (distinct queued keys)
   std::size_t size_ = 0;     ///< queued messages
   bool waiting_ = false;
+  bool poisoned_ = false;  ///< run aborted; retrieves throw RunAborted
   MsgKey waiting_key_{};
 };
 

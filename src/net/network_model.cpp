@@ -1,0 +1,294 @@
+#include "net/network_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+
+namespace pmps::net {
+namespace {
+
+// Decision hash: one 64-bit value per (seed, src, dst, seq, attempt, ack,
+// salt). Pure, so every fault decision replays bit-identically and is
+// independent of scheduling order across PEs.
+std::uint64_t attempt_hash(std::uint64_t seed, const MsgAttempt& a,
+                           std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ (a.seq * 0x9e3779b97f4a7c15ULL + 1));
+  h = mix64(h ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                      a.src_pe))
+                  << 32) |
+                 static_cast<std::uint32_t>(a.dst_pe)));
+  h = mix64(h ^ (static_cast<std::uint64_t>(a.attempt) << 1) ^
+            (a.ack ? 1ULL : 0ULL));
+  return h;
+}
+
+double hash_uniform(std::uint64_t h) { return (h >> 11) * 0x1.0p-53; }
+
+// Approximately standard-normal deviate from one hash (Irwin–Hall with
+// three uniforms, same approximation the comm-noise path uses).
+double hash_gauss(std::uint64_t h) {
+  const double u0 = hash_uniform(mix64(h + 1));
+  const double u1 = hash_uniform(mix64(h + 2));
+  const double u2 = hash_uniform(mix64(h + 3));
+  return (u0 + u1 + u2 - 1.5) * 2.0;
+}
+
+constexpr std::uint64_t kSaltDataDrop = 0x6c6f7373'64617461ULL;
+constexpr std::uint64_t kSaltAckDrop = 0x6c6f7373'2061636bULL;
+constexpr std::uint64_t kSaltJitter = 0x6a697474'65722121ULL;
+constexpr std::uint64_t kSaltStraggler = 0x73747261'67676c65ULL;
+
+constexpr std::size_t kNoScript = ~std::size_t{0};
+
+}  // namespace
+
+ReliableOutcome simulate_reliable_send(const NetworkModel& model,
+                                       const RetransmitParams& rp,
+                                       MsgAttempt base, double data_cost,
+                                       double ack_cost) {
+  ReliableOutcome out;
+  double elapsed = 0;       // sender time since protocol start
+  double timeout = rp.rto;  // current retransmit timeout (backs off)
+  double best_ack = -1;     // earliest ack arrival seen so far, -1 = none
+  std::int64_t acks_generated = 0;
+  std::int64_t delivered_copies = 0;
+  const int max_attempts = std::max(rp.max_retries, 0) + 1;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    base.attempt = attempt;
+    base.ack = false;
+    // Transmit one copy. The multiply by 1.0 and add of 0.0 below are exact,
+    // which is what keeps a neutral model bit-identical to the clean path.
+    const double cost = data_cost * model.latency_factor(base);
+    const double end = elapsed + cost;
+    out.attempts = attempt + 1;
+
+    if (!model.drop_data(base)) {
+      const double arrival = end + model.extra_delay(base);
+      if (delivered_copies++ == 0) {
+        // First copy to survive: this is the one the mailbox receives.
+        out.arrival_dt = arrival;
+      } else {
+        ++out.dup_data;  // transport suppresses the duplicate copy
+      }
+      MsgAttempt ack = base;
+      ack.ack = true;
+      ack.bytes = rp.ack_bytes;
+      if (!model.drop_ack(ack)) {
+        const double ack_arrival =
+            arrival + ack_cost * model.latency_factor(ack) +
+            model.extra_delay(ack);
+        ++acks_generated;
+        // Out-of-order acks: completion is gated on the earliest-arriving
+        // ack, whichever attempt produced it; the rest are duplicates.
+        best_ack = best_ack < 0 ? ack_arrival : std::min(best_ack, ack_arrival);
+      } else {
+        ++out.ack_drops;
+      }
+    } else {
+      ++out.data_drops;
+    }
+
+    const double deadline = end + timeout;
+    if (best_ack >= 0 && best_ack <= deadline) {
+      // Success path: the sender is busy only for its own transmissions and
+      // the timeout gaps it actually sat through — the ack costs it nothing,
+      // so a first-try success has finish_dt == data_cost exactly.
+      out.delivered = true;
+      out.finish_dt = end;
+      out.retransmits = attempt;
+      out.dup_acks = acks_generated > 0 ? acks_generated - 1 : 0;
+      return out;
+    }
+    elapsed = deadline;  // sat out the full timeout before retransmitting
+    timeout *= rp.backoff;
+  }
+
+  out.delivered = false;
+  out.finish_dt = elapsed;
+  out.retransmits = max_attempts - 1;
+  out.dup_acks = acks_generated > 0 ? acks_generated - 1 : 0;
+  return out;
+}
+
+// --- JitterModel -----------------------------------------------------------
+
+JitterModel::JitterModel(double sigma, std::uint64_t seed) : seed_(seed) {
+  sigma_[0] = 0;
+  sigma_[1] = sigma_[2] = sigma_[3] = sigma;
+}
+
+JitterModel::JitterModel(const double (&sigma)[4], std::uint64_t seed)
+    : seed_(seed) {
+  for (int i = 0; i < 4; ++i) sigma_[i] = sigma[i];
+  sigma_[0] = 0;
+}
+
+double JitterModel::latency_factor(const MsgAttempt& a) const {
+  const double sigma = sigma_[static_cast<int>(a.level)];
+  if (sigma <= 0) return 1.0;
+  const double g = hash_gauss(attempt_hash(seed_, a, kSaltJitter));
+  return std::exp(sigma * std::abs(g));  // ≥ 1: jitter only ever delays
+}
+
+// --- LossModel -------------------------------------------------------------
+
+LossModel::LossModel(double loss, double ack_loss, RetransmitParams rp,
+                     std::uint64_t seed)
+    : loss_(loss), ack_loss_(ack_loss < 0 ? loss : ack_loss), rp_(rp),
+      seed_(seed) {
+  PMPS_CHECK_MSG(loss_ < 1.0 && ack_loss_ < 1.0,
+                 "loss rate 1.0 can never deliver");
+}
+
+bool LossModel::drop_data(const MsgAttempt& a) const {
+  if (loss_ <= 0) return false;
+  // Same hash for every rate: drop sets are nested across loss rates, so
+  // virtual-time inflation is monotone in `loss` for a fixed seed.
+  return hash_uniform(attempt_hash(seed_, a, kSaltDataDrop)) < loss_;
+}
+
+bool LossModel::drop_ack(const MsgAttempt& a) const {
+  if (ack_loss_ <= 0) return false;
+  return hash_uniform(attempt_hash(seed_, a, kSaltAckDrop)) < ack_loss_;
+}
+
+// --- StragglerModel --------------------------------------------------------
+
+StragglerModel::StragglerModel(int p, int count, double factor,
+                               std::uint64_t seed)
+    : factor_(factor), straggler_(static_cast<std::size_t>(std::max(p, 0)), 0) {
+  PMPS_CHECK_MSG(factor >= 1.0, "straggler factor must be >= 1");
+  count = std::clamp(count, 0, p);
+  std::vector<int> ids(static_cast<std::size_t>(p));
+  std::iota(ids.begin(), ids.end(), 0);
+  Xoshiro256 rng(mix64(seed ^ kSaltStraggler));
+  for (int i = 0; i < count; ++i) {  // partial Fisher–Yates: first `count`
+    const auto j = static_cast<std::size_t>(i) +
+                   rng.bounded(static_cast<std::uint64_t>(p - i));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    straggler_[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] = 1;
+  }
+}
+
+double StragglerModel::compute_dilation(int pe) const {
+  if (pe < 0 || static_cast<std::size_t>(pe) >= straggler_.size()) return 1.0;
+  return straggler_[static_cast<std::size_t>(pe)] ? factor_ : 1.0;
+}
+
+std::vector<int> StragglerModel::stragglers() const {
+  std::vector<int> out;
+  for (std::size_t pe = 0; pe < straggler_.size(); ++pe)
+    if (straggler_[pe]) out.push_back(static_cast<int>(pe));
+  return out;
+}
+
+// --- ScriptedModel ---------------------------------------------------------
+
+void ScriptedModel::add_script(int src_pe, int dst_pe, MsgScript script) {
+  streams_[{src_pe, dst_pe}].scripts.push_back(std::move(script));
+}
+
+const ScriptedModel::MsgScript* ScriptedModel::find(const MsgAttempt& a) const {
+  const auto it = streams_.find({a.src_pe, a.dst_pe});
+  if (it == streams_.end()) return nullptr;
+  Stream& s = it->second;
+  if (a.seq != s.cur_seq) {
+    // New message on this stream: bind the next unassigned script (messages
+    // consume scripts in send order, like libcurvecpr's latency array).
+    s.cur_seq = a.seq;
+    s.cur = s.next < s.scripts.size() ? s.next++ : kNoScript;
+  }
+  return s.cur == kNoScript ? nullptr : &s.scripts[s.cur];
+}
+
+namespace {
+double script_entry(const std::vector<double>& entries, int attempt) {
+  const auto i = static_cast<std::size_t>(attempt);
+  return i < entries.size() ? entries[i] : 0.0;
+}
+}  // namespace
+
+bool ScriptedModel::drop_data(const MsgAttempt& a) const {
+  const MsgScript* s = find(a);
+  return s != nullptr && script_entry(s->data, a.attempt) < 0;
+}
+
+bool ScriptedModel::drop_ack(const MsgAttempt& a) const {
+  const MsgScript* s = find(a);
+  return s != nullptr && script_entry(s->ack, a.attempt) < 0;
+}
+
+double ScriptedModel::extra_delay(const MsgAttempt& a) const {
+  const MsgScript* s = find(a);
+  if (s == nullptr) return 0.0;
+  const double v = script_entry(a.ack ? s->ack : s->data, a.attempt);
+  return v > 0 ? v : 0.0;
+}
+
+// --- ComposedModel ---------------------------------------------------------
+
+ComposedModel::ComposedModel(
+    std::vector<std::shared_ptr<const NetworkModel>> parts,
+    RetransmitParams rp)
+    : parts_(std::move(parts)), rp_(rp) {}
+
+bool ComposedModel::lossy() const {
+  for (const auto& m : parts_)
+    if (m->lossy()) return true;
+  return false;
+}
+
+double ComposedModel::latency_factor(const MsgAttempt& a) const {
+  double f = 1.0;
+  for (const auto& m : parts_) f *= m->latency_factor(a);
+  return f;
+}
+
+double ComposedModel::extra_delay(const MsgAttempt& a) const {
+  double d = 0.0;
+  for (const auto& m : parts_) d += m->extra_delay(a);
+  return d;
+}
+
+bool ComposedModel::drop_data(const MsgAttempt& a) const {
+  for (const auto& m : parts_)
+    if (m->drop_data(a)) return true;
+  return false;
+}
+
+bool ComposedModel::drop_ack(const MsgAttempt& a) const {
+  for (const auto& m : parts_)
+    if (m->drop_ack(a)) return true;
+  return false;
+}
+
+double ComposedModel::compute_dilation(int pe) const {
+  double f = 1.0;
+  for (const auto& m : parts_) f *= m->compute_dilation(pe);
+  return f;
+}
+
+// --- FaultConfig -----------------------------------------------------------
+
+std::shared_ptr<const NetworkModel> FaultConfig::build(
+    int p, std::uint64_t seed) const {
+  std::vector<std::shared_ptr<const NetworkModel>> parts;
+  if (jitter_sigma > 0)
+    parts.push_back(std::make_shared<JitterModel>(jitter_sigma, seed));
+  const double al = ack_loss < 0 ? loss : ack_loss;
+  if (loss > 0 || al > 0)
+    parts.push_back(std::make_shared<LossModel>(loss, al, retransmit, seed));
+  if (stragglers > 0)
+    parts.push_back(
+        std::make_shared<StragglerModel>(p, stragglers, straggle_factor, seed));
+  if (parts.empty()) return nullptr;
+  if (parts.size() == 1) return parts.front();
+  return std::make_shared<ComposedModel>(std::move(parts), retransmit);
+}
+
+}  // namespace pmps::net

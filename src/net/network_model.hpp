@@ -1,0 +1,279 @@
+// Pluggable network-fault model for the simulated cluster.
+//
+// The paper's robustness claims — bounded startup counts, short critical
+// paths — are about real machines, where links jitter, packets drop, and
+// individual PEs straggle. The clean single-ported α–β model of machine.hpp
+// derives that robustness; a NetworkModel makes it *observable*: it decides,
+// per message transmission attempt, how much slower the link is
+// (latency_factor / extra_delay), whether the data or its acknowledgement is
+// lost (drop_data / drop_ack), and how much slower each PE computes
+// (compute_dilation).
+//
+// Contract (docs/DESIGN.md §10):
+//
+//  * The default is no model at all (MachineParams::model == nullptr); the
+//    engine then takes the exact pre-existing cost path, bit for bit. A
+//    model whose hooks all return the neutral values is also bit-identical:
+//    every formula below multiplies by 1.0 or adds 0.0, which are exact.
+//  * Every hook must be a pure function of (seed, src, dst, seq, attempt,
+//    ack) — never of host state, call order across PEs, or wall-clock time.
+//    Each sender's `seq` counter advances deterministically with its SPMD
+//    program, so a fault schedule is replayed bit-identically for a given
+//    seed, regardless of engine backend or worker count.
+//  * Lossy models (lossy() == true) route every network send through a
+//    stop-and-wait ack/timeout/retransmit protocol simulated in virtual
+//    time at the send site (simulate_reliable_send): the sender transmits,
+//    an ack returns for every delivered copy, and a missing ack after the
+//    (backed-off) timeout triggers a retransmission, at most max_retries
+//    times. Acks cost no virtual time on the success path — with zero loss
+//    the protocol is bit-identical to the clean model. Exactly one copy of
+//    the message enters the destination mailbox (the transport suppresses
+//    duplicate data; the sender ignores duplicate and out-of-order acks —
+//    both are counted in CommStats), deposits stay in sender program order,
+//    so per-key FIFO matching is preserved even when retransmitted arrival
+//    times are reordered. Retry exhaustion aborts the whole run with a
+//    NetworkError (Engine poisons every mailbox — a clean error, no hang).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/machine.hpp"
+
+namespace pmps::net {
+
+/// Raised when a lossy run cannot continue (retry exhaustion), and rethrown
+/// by Engine::run after every PE has unwound. Never thrown under the clean
+/// model.
+class NetworkError : public std::runtime_error {
+ public:
+  explicit NetworkError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Stop-and-wait reliability parameters used by lossy models.
+struct RetransmitParams {
+  double rto = 100e-6;        ///< retransmit timeout after a transmission (s)
+  double backoff = 2.0;       ///< timeout multiplier per retry
+  int max_retries = 4;        ///< retransmissions after the first attempt
+  std::size_t ack_bytes = 8;  ///< simulated ack payload (sets ack transit)
+};
+
+/// One transmission attempt, as seen by the model's decision hooks.
+struct MsgAttempt {
+  int src_pe = -1;
+  int dst_pe = -1;
+  LinkLevel level = LinkLevel::kGlobal;
+  std::size_t bytes = 0;     ///< payload bytes (ack_bytes for ack == true)
+  std::uint64_t seq = 0;     ///< per-sender message ordinal (resets per run)
+  int attempt = 0;           ///< 0 = first transmission, k = k-th retry
+  bool ack = false;          ///< true when deciding about the returning ack
+};
+
+/// Base class: the clean network. Every hook returns the neutral value, so
+/// installing a plain NetworkModel is bit-identical to installing none.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// True when drop_data/drop_ack may fire: enables the ack/retransmit
+  /// layer for every network send (even if the rates are zero).
+  virtual bool lossy() const { return false; }
+
+  /// Multiplier (≥ 0) on the α–β transmission cost of this attempt.
+  virtual double latency_factor(const MsgAttempt&) const { return 1.0; }
+
+  /// Extra transit seconds between transmission end and arrival (the
+  /// scripted models use this for exact per-message delivery latencies).
+  virtual double extra_delay(const MsgAttempt&) const { return 0.0; }
+
+  /// True when this data transmission attempt is lost.
+  virtual bool drop_data(const MsgAttempt&) const { return false; }
+
+  /// True when the ack for a delivered attempt is lost (called with
+  /// ack == true).
+  virtual bool drop_ack(const MsgAttempt&) const { return false; }
+
+  /// Multiplier (≥ 1) on local-computation charges of PE `pe`
+  /// (Comm::charge); 1.0 for healthy PEs.
+  virtual double compute_dilation(int) const { return 1.0; }
+
+  /// Reliability parameters used when lossy().
+  virtual RetransmitParams retransmit() const { return {}; }
+};
+
+/// Outcome of one reliable (stop-and-wait) send, in seconds *elapsed since
+/// the protocol started* so the caller can charge durations without
+/// re-rounding absolute clocks.
+struct ReliableOutcome {
+  bool delivered = false;  ///< false: retry budget exhausted without an ack
+  double finish_dt = 0;    ///< sender busy until start + finish_dt
+  double arrival_dt = 0;   ///< first copy reaches the destination
+  int attempts = 0;        ///< transmissions performed (1 = no retransmit)
+  int retransmits = 0;     ///< attempts - 1
+  std::int64_t data_drops = 0;  ///< lost data transmissions
+  std::int64_t ack_drops = 0;   ///< lost acks (data had arrived)
+  std::int64_t dup_data = 0;    ///< duplicate copies suppressed at the dest
+  std::int64_t dup_acks = 0;    ///< duplicate / out-of-order acks ignored
+};
+
+/// Runs the stop-and-wait protocol for one message under `model`:
+/// `data_cost` is the α–β (noise- and congestion-adjusted) transmission
+/// cost of one attempt, `ack_cost` the same for the ack. `base` carries
+/// (src, dst, level, bytes, seq); its attempt/ack fields are filled in per
+/// attempt. Pure — all randomness comes from the model's seeded hooks —
+/// and unit-testable against a ScriptedModel schedule.
+ReliableOutcome simulate_reliable_send(const NetworkModel& model,
+                                       const RetransmitParams& rp,
+                                       MsgAttempt base, double data_cost,
+                                       double ack_cost);
+
+// ---------------------------------------------------------------------------
+// Seeded implementations
+// ---------------------------------------------------------------------------
+
+/// Per-link latency jitter: each transmission (and ack) is stretched by
+/// exp(σ(level) · |g|) ≥ 1 with g an approximately standard-normal deviate
+/// hashed from (seed, src, dst, seq, attempt) — i.i.d. per attempt, bit-
+/// reproducible for a given seed.
+class JitterModel : public NetworkModel {
+ public:
+  /// One σ for all non-self links.
+  JitterModel(double sigma, std::uint64_t seed);
+  /// Per-link σ, indexed by LinkLevel (kSelf entry ignored).
+  JitterModel(const double (&sigma)[4], std::uint64_t seed);
+
+  double latency_factor(const MsgAttempt& a) const override;
+
+ private:
+  double sigma_[4];
+  std::uint64_t seed_;
+};
+
+/// Seeded message loss with the ack/timeout/retransmit layer. Each data
+/// transmission attempt is dropped with probability `loss`, each ack with
+/// `ack_loss`; decisions are hashed from (seed, src, dst, seq, attempt) and
+/// coupled across rates (the same attempt that survives 1e-2 survives
+/// 1e-4), which makes virtual-time inflation monotone in the loss rate.
+class LossModel : public NetworkModel {
+ public:
+  LossModel(double loss, double ack_loss, RetransmitParams rp,
+            std::uint64_t seed);
+
+  bool lossy() const override { return true; }
+  bool drop_data(const MsgAttempt& a) const override;
+  bool drop_ack(const MsgAttempt& a) const override;
+  RetransmitParams retransmit() const override { return rp_; }
+
+ private:
+  double loss_;
+  double ack_loss_;
+  RetransmitParams rp_;
+  std::uint64_t seed_;
+};
+
+/// Straggler PEs: `count` distinct PEs (chosen by a seeded shuffle of
+/// [0, p)) compute `factor`× slower; everything they charge through
+/// Comm::charge is dilated. Communication costs are not dilated — a
+/// straggler has a slow core, not a slow NIC.
+class StragglerModel : public NetworkModel {
+ public:
+  StragglerModel(int p, int count, double factor, std::uint64_t seed);
+
+  double compute_dilation(int pe) const override;
+  /// The selected straggler PEs, ascending (for tests and reports).
+  std::vector<int> stragglers() const;
+
+ private:
+  double factor_;
+  std::vector<char> straggler_;
+};
+
+/// Scripted delivery schedule for tests, after libcurvecpr's
+/// delivery_latencies[]: each (src → dst) stream carries one MsgScript per
+/// message in send order; entry i of a script applies to transmission
+/// attempt i (negative = dropped, otherwise extra transit seconds).
+/// Unscripted messages and attempts beyond a script behave cleanly.
+///
+/// Register all scripts before Engine::run. Lookups mutate only per-stream
+/// cursors, and a (src → dst) stream is only ever touched by the sending
+/// PE, so concurrent runs stay race-free and deterministic.
+class ScriptedModel : public NetworkModel {
+ public:
+  struct MsgScript {
+    std::vector<double> data;  ///< per attempt: < 0 drop, else delay (s)
+    std::vector<double> ack;   ///< per attempt: < 0 drop, else delay (s)
+  };
+
+  explicit ScriptedModel(RetransmitParams rp = {}) : rp_(rp) {}
+
+  /// Appends the schedule for the next unscripted message from src to dst.
+  void add_script(int src_pe, int dst_pe, MsgScript script);
+
+  bool lossy() const override { return true; }
+  bool drop_data(const MsgAttempt& a) const override;
+  bool drop_ack(const MsgAttempt& a) const override;
+  double extra_delay(const MsgAttempt& a) const override;
+  RetransmitParams retransmit() const override { return rp_; }
+
+ private:
+  struct Stream {
+    std::vector<MsgScript> scripts;
+    std::size_t next = 0;          ///< next unassigned script
+    std::uint64_t cur_seq = ~0ULL; ///< sender seq bound to `cur`
+    std::size_t cur = ~std::size_t{0};
+  };
+
+  /// Script for this attempt's message (nullptr = behave cleanly); binds
+  /// the next unassigned script when a new sender seq appears.
+  const MsgScript* find(const MsgAttempt& a) const;
+
+  RetransmitParams rp_;
+  mutable std::map<std::pair<int, int>, Stream> streams_;
+};
+
+/// Stacks several models: latency factors multiply, extra delays add, drops
+/// OR, dilations multiply; lossy when any part is. Used by FaultConfig.
+class ComposedModel : public NetworkModel {
+ public:
+  ComposedModel(std::vector<std::shared_ptr<const NetworkModel>> parts,
+                RetransmitParams rp);
+
+  bool lossy() const override;
+  double latency_factor(const MsgAttempt& a) const override;
+  double extra_delay(const MsgAttempt& a) const override;
+  bool drop_data(const MsgAttempt& a) const override;
+  bool drop_ack(const MsgAttempt& a) const override;
+  double compute_dilation(int pe) const override;
+  RetransmitParams retransmit() const override { return rp_; }
+
+ private:
+  std::vector<std::shared_ptr<const NetworkModel>> parts_;
+  RetransmitParams rp_;
+};
+
+/// One-stop per-run fault configuration (harness::RunConfig::faults):
+/// builds the composed model for a (p, seed) pair, or nullptr when every
+/// knob is at its clean default — keeping the default path bit-identical.
+struct FaultConfig {
+  double loss = 0;           ///< per-attempt data-drop probability
+  double ack_loss = -1;      ///< ack-drop probability (< 0: same as loss)
+  double jitter_sigma = 0;   ///< lognormal σ on all non-self links
+  int stragglers = 0;        ///< straggler PE count
+  double straggle_factor = 4.0;
+  RetransmitParams retransmit;
+
+  bool any() const {
+    return loss > 0 || ack_loss > 0 || jitter_sigma > 0 || stragglers > 0;
+  }
+
+  std::shared_ptr<const NetworkModel> build(int p, std::uint64_t seed) const;
+};
+
+}  // namespace pmps::net

@@ -23,11 +23,37 @@ inline constexpr int kNumPhases = 5;
 
 std::string_view phase_name(Phase p);
 
+/// Reliability-layer counters (all zero under the clean model and under a
+/// lossy model that never dropped anything). Written only by the sending PE
+/// — simulate_reliable_send resolves the whole exchange at the send site —
+/// so they need no synchronisation, like every other CommStats field.
+struct FaultTotals {
+  std::int64_t retransmits = 0;  ///< extra data transmissions performed
+  std::int64_t data_drops = 0;   ///< data transmission attempts lost
+  std::int64_t ack_drops = 0;    ///< acks lost (the data had arrived)
+  std::int64_t dup_data = 0;     ///< duplicate copies suppressed at the dest
+  std::int64_t dup_acks = 0;     ///< duplicate / out-of-order acks ignored
+
+  bool any() const {
+    return retransmits || data_drops || ack_drops || dup_data || dup_acks;
+  }
+  FaultTotals& operator+=(const FaultTotals& o) {
+    retransmits += o.retransmits;
+    data_drops += o.data_drops;
+    ack_drops += o.ack_drops;
+    dup_data += o.dup_data;
+    dup_acks += o.dup_acks;
+    return *this;
+  }
+  friend bool operator==(const FaultTotals&, const FaultTotals&) = default;
+};
+
 struct CommStats {
   std::int64_t messages_sent = 0;
   std::int64_t messages_received = 0;
   std::int64_t bytes_sent = 0;
   std::int64_t bytes_received = 0;
+  FaultTotals faults;  ///< reliability-layer counters (see FaultTotals)
   std::array<double, kNumPhases> phase_time{};  // virtual seconds
   std::array<std::int64_t, kNumPhases> phase_messages_sent{};
 
@@ -47,6 +73,7 @@ struct RunReport {
   std::int64_t max_messages_received = 0;  ///< max over PEs
   std::int64_t max_messages_sent = 0;
   std::int64_t total_bytes_sent = 0;
+  FaultTotals faults;  ///< summed over PEs (all zero on a clean run)
 
   double phase(Phase p) const { return phase_max[static_cast<int>(p)]; }
   std::int64_t phase_messages(Phase p) const {

@@ -5,10 +5,14 @@
 
 #include <array>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "ams/ams_sort.hpp"
 #include "coll/collectives.hpp"
+#include "harness/runner.hpp"
 #include "harness/workloads.hpp"
 #include "net/comm.hpp"
 #include "net/engine.hpp"
@@ -280,6 +284,102 @@ TEST(Engine, ReportIdenticalAcrossBackendsWithNoise) {
   EXPECT_EQ(f.max_messages_sent, t.max_messages_sent);
   EXPECT_EQ(f.max_messages_received, t.max_messages_received);
   EXPECT_EQ(f.total_bytes_sent, t.total_bytes_sent);
+}
+
+// --- clean-model golden regression -----------------------------------------
+//
+// The NetworkModel plug point must leave the default path untouched: these
+// hexfloat summaries were captured from seeded runs *before* fault
+// injection existed, and every backend / worker-count combination must
+// still reproduce them byte for byte. If an intentional cost-model change
+// ever shifts them, re-capture with the printf format below.
+
+std::string canonical_summary(const harness::RunConfig& cfg) {
+  const auto res = harness::run_sort_experiment(cfg);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "wall=%a other=%a split=%a bucket=%a deliv=%a sort=%a "
+      "sent=%lld recv=%lld bytes=%lld total=%lld imb=%a ok=%d",
+      res.report.wall_time, res.report.phase(Phase::kOther),
+      res.report.phase(Phase::kSplitterSelection),
+      res.report.phase(Phase::kBucketProcessing),
+      res.report.phase(Phase::kDataDelivery),
+      res.report.phase(Phase::kLocalSort),
+      static_cast<long long>(res.report.max_messages_sent),
+      static_cast<long long>(res.report.max_messages_received),
+      static_cast<long long>(res.report.total_bytes_sent),
+      static_cast<long long>(res.check.total), res.check.imbalance,
+      res.check.ok() ? 1 : 0);
+  return buf;
+}
+
+constexpr const char* kGoldenAms =
+    "wall=0x1.1c044cb0a0ac3p-13 other=0x1.930e4b587f2e5p-19 "
+    "split=0x1.bf997addab314p-15 bucket=0x1.aa1fdfd579551p-16 "
+    "deliv=0x1.4ae490f4eb8b7p-16 sort=0x1.1cc5243a7c5d3p-15 "
+    "sent=82 recv=79 bytes=386240 total=6400 imb=0x1.3d70a3d70a3dp-4 ok=1";
+
+constexpr const char* kGoldenRlm =
+    "wall=0x1.c6f2ba86134b7p-12 other=0x1.8b3a698a542f8p-18 "
+    "split=0x1.8f1aa0d157842p-12 bucket=0x1.5c0c30ef4c0aep-18 "
+    "deliv=0x1.5e566eeeed7c6p-16 sort=0x1.74c0c4f302f55p-16 "
+    "sent=525 recv=414 bytes=135264 total=3600 imb=0x0p+0 ok=1";
+
+harness::RunConfig golden_ams_config() {
+  harness::RunConfig cfg;
+  cfg.p = 16;
+  cfg.n_per_pe = 400;
+  cfg.algorithm = harness::Algorithm::kAms;
+  cfg.ams.levels = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+harness::RunConfig golden_rlm_config() {
+  harness::RunConfig cfg;
+  cfg.p = 12;
+  cfg.n_per_pe = 300;
+  cfg.algorithm = harness::Algorithm::kRlm;
+  cfg.rlm.levels = 2;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(Engine, CleanModelMatchesPreFaultInjectionGoldens) {
+  EXPECT_EQ(canonical_summary(golden_ams_config()), kGoldenAms);
+  EXPECT_EQ(canonical_summary(golden_rlm_config()), kGoldenRlm);
+}
+
+TEST(Engine, CleanModelGoldensHoldOnThreadBackend) {
+  auto ams = golden_ams_config();
+  ams.backend = EngineBackend::kThreads;
+  auto rlm = golden_rlm_config();
+  rlm.backend = EngineBackend::kThreads;
+  EXPECT_EQ(canonical_summary(ams), kGoldenAms);
+  EXPECT_EQ(canonical_summary(rlm), kGoldenRlm);
+}
+
+TEST(Engine, CleanModelGoldensHoldAcrossFiberWorkerCounts) {
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  auto ams = golden_ams_config();
+  ams.backend = EngineBackend::kFibers;
+  auto rlm = golden_rlm_config();
+  rlm.backend = EngineBackend::kFibers;
+  const char* prev = std::getenv("PMPS_FIBER_WORKERS");
+  const std::string saved = prev ? prev : "";
+  for (const char* workers : {"1", "3"}) {
+    // Read when the engine lazily creates its pool, i.e. inside the next
+    // run_sort_experiment call.
+    setenv("PMPS_FIBER_WORKERS", workers, 1);
+    EXPECT_EQ(canonical_summary(ams), kGoldenAms) << "workers=" << workers;
+    EXPECT_EQ(canonical_summary(rlm), kGoldenRlm) << "workers=" << workers;
+  }
+  if (prev) {
+    setenv("PMPS_FIBER_WORKERS", saved.c_str(), 1);
+  } else {
+    unsetenv("PMPS_FIBER_WORKERS");
+  }
 }
 
 }  // namespace

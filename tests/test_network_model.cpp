@@ -1,0 +1,445 @@
+// Tests for the pluggable NetworkModel (net/network_model.hpp): the
+// stop-and-wait ack/timeout/retransmit protocol against explicit scripted
+// schedules (à la libcurvecpr's delivery_latencies[] tests), exact virtual
+// timestamps through a two-PE engine exchange, retry-exhaustion error
+// handling, zero-loss bit-identity with the clean model, stragglers, and
+// the seeded fault configuration used by the harness.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "net/comm.hpp"
+#include "net/engine.hpp"
+#include "net/machine.hpp"
+#include "net/network_model.hpp"
+
+namespace pmps::net {
+namespace {
+
+// Protocol-level fixtures: drive simulate_reliable_send directly with a
+// ScriptedModel and assert the exact doubles the formula must produce.
+// (Expected values are computed with the same operation order the protocol
+// uses — elapsed += cost, deadline = end + timeout — so EXPECT_EQ on
+// doubles is legitimate, not approximate.)
+constexpr double kData = 1e-3;  // one data transmission
+constexpr double kAck = 1e-4;   // one ack transmission
+constexpr double kRto = 5e-3;
+
+RetransmitParams test_rp(int max_retries = 4) {
+  RetransmitParams rp;
+  rp.rto = kRto;
+  rp.backoff = 2.0;
+  rp.max_retries = max_retries;
+  return rp;
+}
+
+MsgAttempt attempt_0_to_1() {
+  MsgAttempt a;
+  a.src_pe = 0;
+  a.dst_pe = 1;
+  a.level = LinkLevel::kGlobal;
+  a.bytes = 64;
+  a.seq = 0;
+  return a;
+}
+
+TEST(ReliableSendProtocol, CleanFirstTry) {
+  ScriptedModel model(test_rp());  // no scripts: everything behaves cleanly
+  const auto out = simulate_reliable_send(model, test_rp(), attempt_0_to_1(),
+                                          kData, kAck);
+  ASSERT_TRUE(out.delivered);
+  // The ack costs the sender nothing: busy exactly for one transmission.
+  EXPECT_EQ(out.finish_dt, kData);
+  EXPECT_EQ(out.arrival_dt, out.finish_dt);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.retransmits, 0);
+  EXPECT_EQ(out.data_drops, 0);
+  EXPECT_EQ(out.ack_drops, 0);
+  EXPECT_EQ(out.dup_data, 0);
+  EXPECT_EQ(out.dup_acks, 0);
+}
+
+TEST(ReliableSendProtocol, DataDropRetransmits) {
+  auto model = std::make_shared<ScriptedModel>(test_rp());
+  model->add_script(0, 1, {.data = {-1, 0}, .ack = {}});
+  const auto out = simulate_reliable_send(*model, test_rp(), attempt_0_to_1(),
+                                          kData, kAck);
+  ASSERT_TRUE(out.delivered);
+  // Attempt 0 transmits (kData), is lost, and the sender sits out the full
+  // timeout; attempt 1 transmits again and its ack returns in time.
+  const double end1 = (kData + kRto) + kData;
+  EXPECT_EQ(out.finish_dt, end1);
+  EXPECT_EQ(out.arrival_dt, end1);  // the surviving copy is attempt 1's
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_EQ(out.retransmits, 1);
+  EXPECT_EQ(out.data_drops, 1);
+  EXPECT_EQ(out.ack_drops, 0);
+  EXPECT_EQ(out.dup_data, 0);
+  EXPECT_EQ(out.dup_acks, 0);
+}
+
+TEST(ReliableSendProtocol, AckDropDeliversDuplicateData) {
+  auto model = std::make_shared<ScriptedModel>(test_rp());
+  model->add_script(0, 1, {.data = {}, .ack = {-1, 0}});
+  const auto out = simulate_reliable_send(*model, test_rp(), attempt_0_to_1(),
+                                          kData, kAck);
+  ASSERT_TRUE(out.delivered);
+  // Attempt 0's data arrived but its ack was lost, so the sender resends;
+  // the receiver sees a duplicate (suppressed) and the *first* copy's
+  // arrival time stands.
+  EXPECT_EQ(out.arrival_dt, kData);
+  EXPECT_EQ(out.finish_dt, (kData + kRto) + kData);
+  EXPECT_EQ(out.retransmits, 1);
+  EXPECT_EQ(out.ack_drops, 1);
+  EXPECT_EQ(out.data_drops, 0);
+  EXPECT_EQ(out.dup_data, 1);
+  EXPECT_EQ(out.dup_acks, 0);
+}
+
+TEST(ReliableSendProtocol, LateAckArrivesOutOfOrderAndIsDeduplicated) {
+  // Attempt 0's ack is delayed past the first timeout (8 ms), so the sender
+  // retransmits; attempt 1's undelayed ack then overtakes the late one.
+  // Both acks exist — the earlier-arriving one completes the protocol and
+  // the straggler is counted as a duplicate.
+  auto model = std::make_shared<ScriptedModel>(test_rp());
+  model->add_script(0, 1, {.data = {}, .ack = {8e-3, 0}});
+  const auto out = simulate_reliable_send(*model, test_rp(), attempt_0_to_1(),
+                                          kData, kAck);
+  ASSERT_TRUE(out.delivered);
+  EXPECT_EQ(out.finish_dt, (kData + kRto) + kData);
+  EXPECT_EQ(out.arrival_dt, kData);  // attempt 0's copy arrived first
+  EXPECT_EQ(out.retransmits, 1);
+  EXPECT_EQ(out.dup_data, 1);
+  EXPECT_EQ(out.dup_acks, 1);  // the late attempt-0 ack is ignored
+  EXPECT_EQ(out.ack_drops, 0);
+}
+
+TEST(ReliableSendProtocol, OutOfOrderAckFromEarlierAttemptCompletes) {
+  // Attempt 0's ack is delayed past its own deadline but attempt 1's ack is
+  // dropped outright: completion rides on the earliest ack *arrival*, not
+  // on which attempt generated it.
+  auto model = std::make_shared<ScriptedModel>(test_rp());
+  model->add_script(0, 1, {.data = {}, .ack = {6.5e-3, -1}});
+  const auto out = simulate_reliable_send(*model, test_rp(), attempt_0_to_1(),
+                                          kData, kAck);
+  ASSERT_TRUE(out.delivered);
+  EXPECT_EQ(out.finish_dt, (kData + kRto) + kData);
+  EXPECT_EQ(out.arrival_dt, kData);
+  EXPECT_EQ(out.retransmits, 1);
+  EXPECT_EQ(out.dup_data, 1);
+  EXPECT_EQ(out.ack_drops, 1);  // attempt 1's ack
+  EXPECT_EQ(out.dup_acks, 0);   // only one ack was ever generated
+}
+
+TEST(ReliableSendProtocol, ExhaustionReportsUndelivered) {
+  auto model = std::make_shared<ScriptedModel>(test_rp(/*max_retries=*/2));
+  model->add_script(0, 1, {.data = {-1, -1, -1}, .ack = {}});
+  const auto out = simulate_reliable_send(*model, test_rp(2), attempt_0_to_1(),
+                                          kData, kAck);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.retransmits, 2);
+  EXPECT_EQ(out.data_drops, 3);
+  // Three transmissions, each followed by its (backed-off) timeout.
+  double expect = kData + kRto;
+  expect += kData + 2 * kRto;
+  expect += kData + 4 * kRto;
+  EXPECT_EQ(out.finish_dt, expect);
+}
+
+TEST(ReliableSendProtocol, ScriptsApplyPerMessageInSendOrder) {
+  // Two messages on the same stream: the first consumes the drop script,
+  // the second the clean one — attempts of one message never bleed into
+  // the next message's schedule.
+  auto model = std::make_shared<ScriptedModel>(test_rp());
+  model->add_script(0, 1, {.data = {-1, 0}, .ack = {}});
+  model->add_script(0, 1, {.data = {}, .ack = {}});
+  MsgAttempt first = attempt_0_to_1();
+  const auto out0 =
+      simulate_reliable_send(*model, test_rp(), first, kData, kAck);
+  MsgAttempt second = attempt_0_to_1();
+  second.seq = 1;
+  const auto out1 =
+      simulate_reliable_send(*model, test_rp(), second, kData, kAck);
+  EXPECT_EQ(out0.retransmits, 1);
+  EXPECT_EQ(out1.retransmits, 0);
+  EXPECT_EQ(out1.finish_dt, kData);
+}
+
+// Engine-level scripted exchange: exact virtual timestamps and counters
+// through real sends/recvs on a two-PE flat machine (α = 1 ms, β = 0, so
+// every transmission costs exactly kFlatAlpha).
+constexpr double kFlatAlpha = 1e-3;
+
+TEST(ScriptedEngineExchange, RetransmitShiftsTimestampsExactly) {
+  MachineParams machine = MachineParams::flat(kFlatAlpha, 0.0);
+  auto model = std::make_shared<ScriptedModel>(test_rp());
+  model->add_script(0, 1, {.data = {-1, 0}, .ack = {}});  // first msg only
+  machine.model = model;
+
+  Engine engine(2, machine, /*seed=*/1);
+  double sender_after_first = 0, sender_after_second = 0;
+  double recv_first = 0, recv_second = 0;
+  std::uint64_t v0 = 0, v1 = 0;
+  engine.run([&](Comm& comm) {
+    const std::uint64_t tag = comm.next_tag_block();
+    if (comm.rank() == 0) {
+      comm.send_one<std::uint64_t>(1, tag, 111);
+      sender_after_first = comm.now();
+      comm.send_one<std::uint64_t>(1, tag + 1, 222);
+      sender_after_second = comm.now();
+    } else if (comm.rank() == 1) {
+      v0 = comm.recv_one<std::uint64_t>(0, tag);
+      recv_first = comm.now();
+      v1 = comm.recv_one<std::uint64_t>(0, tag + 1);
+      recv_second = comm.now();
+    }
+  });
+
+  EXPECT_EQ(v0, 111u);
+  EXPECT_EQ(v1, 222u);
+  // Message 1: transmit (lost), full timeout, retransmit — delivered.
+  const double first = (kFlatAlpha + kRto) + kFlatAlpha;
+  EXPECT_EQ(sender_after_first, first);
+  EXPECT_EQ(recv_first, first);
+  // Message 2 is unscripted: plain clean cost on top. (The receiver's
+  // catch-up is clock + (arrival - clock), which may differ from the
+  // literal sum by an ulp — hence DOUBLE_EQ there.)
+  EXPECT_EQ(sender_after_second, first + kFlatAlpha);
+  EXPECT_DOUBLE_EQ(recv_second, first + kFlatAlpha);
+
+  const auto rep = engine.report();
+  EXPECT_EQ(rep.faults.retransmits, 1);
+  EXPECT_EQ(rep.faults.data_drops, 1);
+  EXPECT_EQ(rep.faults.dup_data, 0);
+  // Retransmissions are protocol attempts, not logical messages.
+  EXPECT_EQ(rep.max_messages_sent, 2);
+  EXPECT_EQ(rep.max_messages_received, 2);
+}
+
+TEST(ScriptedEngineExchange, FifoPerKeySurvivesReorderedArrivals) {
+  MachineParams machine = MachineParams::flat(kFlatAlpha, 0.0);
+  RetransmitParams rp = test_rp();
+  rp.rto = 50e-3;  // generous: the delayed ack must not trigger a retransmit
+  auto model = std::make_shared<ScriptedModel>(rp);
+  // First message: delivered on the first try but with +10 ms transit, so
+  // it *arrives* after the second message. Delivery to the receiver must
+  // still be in send order (FIFO per matching key).
+  model->add_script(0, 1, {.data = {10e-3}, .ack = {}});
+  machine.model = model;
+
+  Engine engine(2, machine, /*seed=*/1);
+  std::vector<std::uint64_t> received;
+  double recv_first = 0, recv_second = 0;
+  engine.run([&](Comm& comm) {
+    const std::uint64_t tag = comm.next_tag_block();
+    if (comm.rank() == 0) {
+      comm.send_one<std::uint64_t>(1, tag, 111);  // same key as the next one
+      comm.send_one<std::uint64_t>(1, tag, 222);
+    } else if (comm.rank() == 1) {
+      received.push_back(comm.recv_one<std::uint64_t>(0, tag));
+      recv_first = comm.now();
+      received.push_back(comm.recv_one<std::uint64_t>(0, tag));
+      recv_second = comm.now();
+    }
+  });
+
+  EXPECT_EQ(received, (std::vector<std::uint64_t>{111, 222}));
+  // First recv waits for the delayed copy (1 ms transmit + 10 ms transit);
+  // the second message arrived long before and is picked up immediately
+  // (its drain charge is β·bytes = 0 on this machine).
+  EXPECT_EQ(recv_first, kFlatAlpha + 10e-3);
+  EXPECT_EQ(recv_second, recv_first);
+  EXPECT_EQ(engine.report().faults.retransmits, 0);
+}
+
+void run_exchange(Comm& comm, bool reverse) {
+  const std::uint64_t tag = comm.next_tag_block();
+  const int sender = reverse ? 1 : 0;
+  if (comm.rank() == sender) {
+    comm.send_one<std::uint64_t>(1 - sender, tag, 7);
+  } else {
+    EXPECT_EQ(comm.recv_one<std::uint64_t>(sender, tag), 7u);
+  }
+}
+
+TEST(ScriptedEngineExchange, ExhaustionSurfacesErrorNotHang) {
+  MachineParams machine = MachineParams::flat(kFlatAlpha, 0.0);
+  auto model = std::make_shared<ScriptedModel>(test_rp(/*max_retries=*/2));
+  model->add_script(0, 1, {.data = {-1, -1, -1}, .ack = {}});
+  machine.model = model;
+
+  Engine engine(2, machine, /*seed=*/1);
+  // PE 1 is blocked in recv when PE 0 exhausts its retries: the run must
+  // end with a NetworkError, not a deadlock.
+  try {
+    engine.run([&](Comm& comm) { run_exchange(comm, /*reverse=*/false); });
+    FAIL() << "expected NetworkError";
+  } catch (const NetworkError& e) {
+    EXPECT_NE(std::string(e.what()).find("PE 0"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+  }
+
+  // The engine stays usable: the next run drains the aborted traffic and
+  // completes (reverse direction — the 1→0 stream is unscripted).
+  engine.run([&](Comm& comm) { run_exchange(comm, /*reverse=*/true); });
+  EXPECT_GT(engine.report().wall_time, 0.0);
+}
+
+TEST(ScriptedEngineExchange, ExhaustionSurfacesErrorOnThreadBackend) {
+  MachineParams machine = MachineParams::flat(kFlatAlpha, 0.0);
+  auto model = std::make_shared<ScriptedModel>(test_rp(/*max_retries=*/1));
+  model->add_script(0, 1, {.data = {-1, -1}, .ack = {}});
+  machine.model = model;
+
+  Engine engine(2, machine, /*seed=*/1, EngineBackend::kThreads);
+  EXPECT_THROW(
+      engine.run([&](Comm& comm) { run_exchange(comm, /*reverse=*/false); }),
+      NetworkError);
+  engine.run([&](Comm& comm) { run_exchange(comm, /*reverse=*/true); });
+}
+
+// Harness-level fault behavior.
+
+harness::RunConfig ams_config() {
+  harness::RunConfig cfg;
+  cfg.p = 16;
+  cfg.n_per_pe = 400;
+  cfg.algorithm = harness::Algorithm::kAms;
+  cfg.ams.levels = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Faults, ZeroLossModelBitIdenticalToCleanAndNoRetransmits) {
+  // A lossy model with rate 0 still routes every send through the
+  // ack/retransmit protocol — and must be bit-identical to no model at all,
+  // with the stats counters proving zero protocol activity.
+  const auto clean = harness::run_sort_experiment(ams_config());
+
+  auto cfg = ams_config();
+  cfg.machine.model =
+      std::make_shared<LossModel>(0.0, 0.0, RetransmitParams{}, cfg.seed);
+  const auto lossy = harness::run_sort_experiment(cfg);
+
+  EXPECT_EQ(lossy.report.wall_time, clean.report.wall_time);
+  EXPECT_EQ(lossy.report.phase_max, clean.report.phase_max);
+  EXPECT_EQ(lossy.report.max_messages_sent, clean.report.max_messages_sent);
+  EXPECT_EQ(lossy.report.total_bytes_sent, clean.report.total_bytes_sent);
+  EXPECT_EQ(lossy.check.imbalance, clean.check.imbalance);
+  EXPECT_TRUE(lossy.check.ok());
+  EXPECT_EQ(lossy.faults(), FaultTotals{});  // zero retransmits, zero drops
+}
+
+TEST(Faults, FaultConfigAllDefaultsBuildsNoModel) {
+  FaultConfig fc;
+  EXPECT_FALSE(fc.any());
+  EXPECT_EQ(fc.build(16, 1), nullptr);
+  fc.loss = 1e-3;
+  EXPECT_TRUE(fc.any());
+  EXPECT_NE(fc.build(16, 1), nullptr);
+  FaultConfig ack_only;
+  ack_only.ack_loss = 0.2;
+  EXPECT_TRUE(ack_only.any());
+  EXPECT_NE(ack_only.build(16, 1), nullptr);
+}
+
+TEST(Faults, LossInflatesVirtualTimeMonotonically) {
+  // Drop decisions are hashed once per attempt and compared against the
+  // rate, so drop sets are nested across rates and inflation is monotone.
+  double prev = -1;
+  FaultTotals high_rate_faults;
+  for (const double loss : {0.0, 1e-3, 1e-2, 5e-2}) {
+    auto cfg = ams_config();
+    cfg.faults.loss = loss;
+    const auto res = harness::run_sort_experiment(cfg);
+    EXPECT_TRUE(res.check.ok()) << "loss=" << loss;
+    EXPECT_GE(res.report.wall_time, prev) << "loss=" << loss;
+    prev = res.report.wall_time;
+    high_rate_faults = res.faults();
+  }
+  // At 5% per-attempt loss over thousands of attempts, retransmissions are
+  // statistically certain; if this ever fires the loss path is dead code.
+  EXPECT_GT(high_rate_faults.retransmits, 0);
+  EXPECT_GT(high_rate_faults.data_drops, 0);
+}
+
+TEST(Faults, AckLossAloneCausesDuplicateDataNotDataLoss) {
+  auto cfg = ams_config();
+  cfg.faults.ack_loss = 0.1;  // data is never dropped, only acks
+  cfg.faults.retransmit.max_retries = 6;  // exhaustion odds negligible
+  const auto res = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(res.check.ok());
+  EXPECT_EQ(res.faults().data_drops, 0);
+  EXPECT_GT(res.faults().ack_drops, 0);
+  EXPECT_GT(res.faults().retransmits, 0);
+  // Every ack-loss retransmission delivers a suppressed duplicate copy.
+  EXPECT_EQ(res.faults().dup_data, res.faults().retransmits);
+}
+
+TEST(Faults, StragglerDilatesComputeAndSlowsTheRun) {
+  const auto clean = harness::run_sort_experiment(ams_config());
+  auto cfg = ams_config();
+  cfg.faults.stragglers = 2;
+  cfg.faults.straggle_factor = 8.0;
+  const auto slow = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(slow.check.ok());
+  EXPECT_GT(slow.report.wall_time, clean.report.wall_time);
+  EXPECT_EQ(slow.faults(), FaultTotals{});  // dilation is not a network fault
+
+  // Same seed → same stragglers → bit-identical rerun.
+  const auto again = harness::run_sort_experiment(cfg);
+  EXPECT_EQ(again.report.wall_time, slow.report.wall_time);
+}
+
+TEST(Faults, StragglerSelectionIsSeededAndDistinct) {
+  const StragglerModel a(64, 4, 2.0, /*seed=*/9);
+  const StragglerModel b(64, 4, 2.0, /*seed=*/9);
+  EXPECT_EQ(a.stragglers(), b.stragglers());
+  ASSERT_EQ(a.stragglers().size(), 4u);
+  for (const int pe : a.stragglers()) {
+    EXPECT_GE(pe, 0);
+    EXPECT_LT(pe, 64);
+    EXPECT_EQ(a.compute_dilation(pe), 2.0);
+  }
+  int dilated = 0;
+  for (int pe = 0; pe < 64; ++pe)
+    if (a.compute_dilation(pe) > 1.0) ++dilated;
+  EXPECT_EQ(dilated, 4);
+  // Count clamps to p.
+  const StragglerModel all(8, 100, 3.0, 1);
+  EXPECT_EQ(all.stragglers().size(), 8u);
+}
+
+TEST(Faults, JitterInflatesAndReplaysBitIdentically) {
+  const auto clean = harness::run_sort_experiment(ams_config());
+  auto cfg = ams_config();
+  cfg.faults.jitter_sigma = 0.5;
+  const auto jittered = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(jittered.check.ok());
+  // exp(σ|g|) ≥ 1 stretches every message, never shortens one.
+  EXPECT_GT(jittered.report.wall_time, clean.report.wall_time);
+  EXPECT_EQ(jittered.faults(), FaultTotals{});  // jitter alone is lossless
+
+  const auto again = harness::run_sort_experiment(cfg);
+  EXPECT_EQ(again.report.wall_time, jittered.report.wall_time);
+  EXPECT_EQ(again.report.phase_max, jittered.report.phase_max);
+}
+
+TEST(Faults, ComposedFaultsStillSortAndReplay) {
+  auto cfg = ams_config();
+  cfg.faults.loss = 1e-2;
+  cfg.faults.jitter_sigma = 0.3;
+  cfg.faults.stragglers = 1;
+  const auto res = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(res.check.ok());
+  const auto again = harness::run_sort_experiment(cfg);
+  EXPECT_EQ(again.report.wall_time, res.report.wall_time);
+  EXPECT_EQ(again.faults(), res.faults());
+}
+
+}  // namespace
+}  // namespace pmps::net

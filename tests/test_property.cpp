@@ -195,6 +195,59 @@ TEST_P(GroupingFuzz, AllSearchVariantsOptimal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GroupingFuzz, ::testing::Range(0, 40));
 
+class FaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzz, SortedAndBitIdenticalUnderRandomFaults) {
+  // Random fault cocktails (loss × jitter × stragglers) over random shapes:
+  // the output must stay a globally sorted permutation — faults may change
+  // virtual time, never data — and a rerun with the same seed must replay
+  // bit-identically (virtual times, phase accounting, fault counters).
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Xoshiro256 rng(seed * 6151 + 29);
+
+  harness::RunConfig cfg;
+  constexpr int kPs[] = {4, 8, 12, 16, 24};
+  cfg.p = kPs[rng.bounded(std::size(kPs))];
+  cfg.n_per_pe = 50 + static_cast<std::int64_t>(rng.bounded(400));
+  constexpr Algorithm kAlgos[] = {Algorithm::kAms, Algorithm::kRlm,
+                                  Algorithm::kGvSampleSort};
+  cfg.algorithm = kAlgos[rng.bounded(std::size(kAlgos))];
+  cfg.ams.levels = 1 + static_cast<int>(rng.bounded(2));
+  cfg.rlm.levels = cfg.ams.levels;
+  cfg.seed = seed;
+
+  // Random fault profile; at least one knob is always on.
+  constexpr double kLossRates[] = {0.0, 1e-3, 1e-2, 5e-2};
+  constexpr double kJitters[] = {0.0, 0.1, 0.5};
+  cfg.faults.loss = kLossRates[rng.bounded(std::size(kLossRates))];
+  cfg.faults.jitter_sigma = kJitters[rng.bounded(std::size(kJitters))];
+  cfg.faults.stragglers = static_cast<int>(rng.bounded(3));
+  cfg.faults.straggle_factor = 2.0 + static_cast<double>(rng.bounded(6));
+  if (!cfg.faults.any()) cfg.faults.jitter_sigma = 0.2;
+  // The fuzz asserts sorting invariants, not exhaustion: with 5% loss over
+  // thousands of attempts the default retry budget has a small but real
+  // chance of a (deterministic) NetworkError — widen it out of the picture.
+  cfg.faults.retransmit.max_retries = 6;
+
+  const auto res = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(res.check.locally_sorted)
+      << "algo=" << harness::algorithm_name(cfg.algorithm) << " p=" << cfg.p
+      << " loss=" << cfg.faults.loss << " jitter=" << cfg.faults.jitter_sigma
+      << " stragglers=" << cfg.faults.stragglers << " seed=" << seed;
+  EXPECT_TRUE(res.check.globally_ordered) << "seed=" << seed;
+  EXPECT_TRUE(res.check.permutation_ok) << "seed=" << seed;
+
+  const auto again = harness::run_sort_experiment(cfg);
+  EXPECT_EQ(again.report.wall_time, res.report.wall_time) << "seed=" << seed;
+  EXPECT_EQ(again.report.phase_max, res.report.phase_max) << "seed=" << seed;
+  EXPECT_EQ(again.report.max_messages_sent, res.report.max_messages_sent);
+  EXPECT_EQ(again.report.total_bytes_sent, res.report.total_bytes_sent);
+  EXPECT_TRUE(again.faults() == res.faults()) << "seed=" << seed;
+  EXPECT_EQ(again.check.imbalance, res.check.imbalance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 25));
+
 TEST(VirtualTime, CausalityUnderRandomTraffic) {
   // Random p2p traffic: a receive can never complete before the matching
   // send's finish time.
