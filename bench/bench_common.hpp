@@ -21,6 +21,7 @@ namespace pmps::bench {
 struct Flags {
   bool paper_scale = false;
   bool large_p = false;  ///< append the fiber engine's p ∈ {1024, 4096} rows
+  bool huge_p = false;   ///< append the executed p ∈ {8192, 32768} rows
   bool csv = false;
   int reps = 3;
   std::uint64_t seed = 1;
@@ -32,6 +33,9 @@ struct Flags {
         f.paper_scale = true;
       } else if (std::strcmp(argv[i], "--large-p") == 0) {
         f.large_p = true;
+      } else if (std::strcmp(argv[i], "--huge-p") == 0) {
+        f.large_p = true;
+        f.huge_p = true;
       } else if (std::strcmp(argv[i], "--csv") == 0) {
         f.csv = true;
       } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
@@ -42,6 +46,8 @@ struct Flags {
         std::printf(
             "flags: --paper-scale (analytic model on the paper's grid)\n"
             "       --large-p (executed smoke rows at p = 1024, 4096)\n"
+            "       --huge-p (executed smoke rows up to p = 32768; implies "
+            "--large-p)\n"
             "       --csv (CSV output)  --reps N  --seed S\n");
         std::exit(0);
       }
@@ -52,12 +58,18 @@ struct Flags {
 
 /// Executed-simulation grid (small enough for one host). With --large-p the
 /// fiber engine's paper-scale smoke rows are appended — infeasible under the
-/// legacy thread-per-PE backend, routine under the fiber scheduler.
+/// legacy thread-per-PE backend, routine under the fiber scheduler. With
+/// --huge-p the grid reaches the paper's p = 2^15 (stack-pooled fibers,
+/// sharded mailbox, idle-phase fast-forward).
 inline std::vector<int> executed_ps(const Flags& f) {
   std::vector<int> ps{16, 64, 256};
   if (f.large_p) {
     ps.push_back(1024);
     ps.push_back(4096);
+  }
+  if (f.huge_p) {
+    ps.push_back(8192);
+    ps.push_back(32768);
   }
   return ps;
 }
@@ -72,14 +84,19 @@ inline const std::vector<std::int64_t>& executed_ns() {
 /// message count is the very pathology multi-level algorithms remove.
 inline bool feasible_row(int p, std::int64_t n_per_pe, int levels = 2) {
   if (p < 1024) return true;
+  if (p >= 8192) return n_per_pe <= 100 && levels >= 3;
   return n_per_pe <= 1000 && levels >= 2;
 }
 
 /// Lowest level count worth executing at this p (cf. feasible_row).
-inline int min_levels_for(int p) { return p >= 1024 ? 2 : 1; }
+inline int min_levels_for(int p) {
+  if (p >= 8192) return 3;
+  return p >= 1024 ? 2 : 1;
+}
 
-/// Reps for one grid row: large-p smoke rows are capped at 2.
+/// Reps for one grid row: large-p smoke rows are capped at 2, huge-p at 1.
 inline int reps_for(const Flags& f, int p) {
+  if (p >= 8192) return 1;
   return p >= 1024 ? std::min(f.reps, 2) : f.reps;
 }
 

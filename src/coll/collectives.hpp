@@ -64,9 +64,17 @@ using net::Comm;
 
 /// Dissemination barrier: ⌈log2 p⌉ rounds; also synchronises virtual clocks
 /// (every PE ends no earlier than any other PE's entry time).
+///
+/// Under the default clean network the engine fast-forwards the barrier:
+/// every runnable PE reaching it is by definition blocked on the same
+/// collective, so instead of exchanging Θ(p log p) real 1-byte messages the
+/// last arriver replays all clock/stats/noise effects in one step
+/// (Comm::barrier_fast_forward, bit-identical — pinned by the hexfloat
+/// goldens). PMPS_COLL_FF=0 restores the message-by-message execution.
 inline void barrier(Comm& comm) {
   const int p = comm.size();
   if (p == 1) return;
+  if (comm.barrier_fast_forward()) return;
   const std::uint64_t tag = comm.next_tag_block();
   const std::byte token{0};
   std::byte got{0};
@@ -638,7 +646,62 @@ void sparse_exchange_into(Comm& comm, const SendPlan<T>& outgoing,
   const std::uint64_t tag = comm.next_tag_block();
   net::CollScratch& scratch = comm.ctx().coll_scratch;
 
-  // --- out-of-band: who receives how many messages (uncharged) -------------
+  if (comm.engine().coll_ff_enabled()) {
+    // --- out-of-band counts via the engine's tally rendezvous --------------
+    // The dense Bruck exchange below runs entirely in free mode — zero
+    // clock/stats/RNG effects — so replacing it by a direct tally is
+    // bit-identical while touching O(distinct dests) memory per PE instead
+    // of three Θ(p) vectors (≈ 25 GB of host RAM at p = 2^15).
+    std::vector<std::int32_t>& dests = scratch.sx_dests;
+    dests.clear();
+    for (int i = 0; i < outgoing.pieces(); ++i)
+      dests.push_back(static_cast<std::int32_t>(outgoing.dest(i)));
+    std::sort(dests.begin(), dests.end());
+    std::vector<net::CountPair>& out_pairs = scratch.sx_out;
+    out_pairs.clear();
+    for (std::size_t i = 0; i < dests.size();) {
+      std::size_t j = i;
+      while (j < dests.size() && dests[j] == dests[i]) ++j;
+      out_pairs.push_back({dests[i], static_cast<std::int64_t>(j - i)});
+      i = j;
+    }
+    comm.tally_counts(
+        std::span<const net::CountPair>(out_pairs.data(), out_pairs.size()),
+        scratch.sx_in);
+
+    // --- charged: the real messages ----------------------------------------
+    std::vector<std::int64_t>& seq = scratch.sx_seq;
+    seq.assign(out_pairs.size(), 0);
+    for (int i = 0; i < outgoing.pieces(); ++i) {
+      const int dest = outgoing.dest(i);
+      const auto it = std::lower_bound(
+          out_pairs.begin(), out_pairs.end(), dest,
+          [](const net::CountPair& a, int d) { return a.rank < d; });
+      const auto k = static_cast<std::uint64_t>(
+          seq[static_cast<std::size_t>(it - out_pairs.begin())]++);
+      comm.send<T>(dest, tag + k, outgoing.piece(i));
+    }
+
+    // Receive order identical to the dense path: ascending source rank,
+    // send order within a source (sx_in is sorted by src).
+    for (const net::CountPair& cp : scratch.sx_in) {
+      for (std::int64_t k = 0; k < cp.count; ++k) {
+        net::Message m =
+            comm.recv_bytes(cp.rank, tag + static_cast<std::uint64_t>(k));
+        PMPS_CHECK(m.payload.size() % sizeof(T) == 0);
+        sink(cp.rank,
+             std::span<const T>(reinterpret_cast<const T*>(m.payload.data()),
+                                m.payload.size() / sizeof(T)));
+        comm.release_payload(std::move(m));
+      }
+    }
+
+    // Termination detection (NBX ibarrier), charged.
+    barrier(comm);
+    return;
+  }
+
+  // --- PMPS_COLL_FF=0 fallback: free-mode dense Bruck counts exchange ------
   std::vector<std::int64_t>& in_count = scratch.counts_in;
   {
     net::FreeModeGuard free_guard(comm.ctx());

@@ -27,11 +27,14 @@ struct SplitEntry {
 }  // namespace
 
 Comm::Comm(Engine* engine, int pe)
-    : engine_(engine), ctx_(&engine->pe_context(pe)), rank_(pe), comm_id_(1) {
-  auto members = std::make_shared<std::vector<int>>(engine->num_pes());
-  for (int i = 0; i < engine->num_pes(); ++i) (*members)[i] = i;
-  members_ = std::move(members);
-}
+    : engine_(engine),
+      ctx_(&engine->pe_context(pe)),
+      // All p world communicators alias the engine's one member vector —
+      // a per-PE copy would be Θ(p²) bytes across the machine (4 GB at
+      // p = 2^15).
+      members_(engine->world_members()),
+      rank_(pe),
+      comm_id_(1) {}
 
 Comm::Comm(Engine* engine, PeContext* ctx,
            std::shared_ptr<const std::vector<int>> members, int rank,
@@ -82,7 +85,7 @@ void Comm::send_bytes(int dest_rank, std::uint64_t tag,
   msg.tag = tag;
   msg.src_pe = ctx_->pe;
   msg.arrival = arrival;
-  msg.payload = engine_->buffer_pool().acquire(payload.size_bytes());
+  msg.payload = engine_->buffer_pool(dest_pe).acquire(payload.size_bytes());
   msg.payload.assign(payload.begin(), payload.end());
   engine_->deposit_message(dest_pe, std::move(msg));
 }
@@ -154,7 +157,18 @@ Message Comm::recv_bytes(int src_rank, std::uint64_t tag) {
 }
 
 void Comm::release_payload(Message&& m) {
-  engine_->buffer_pool().release(std::move(m.payload));
+  // We are the destination: the buffer goes back to the shard the sender
+  // acquired it from (buffers never migrate between shards).
+  engine_->buffer_pool(ctx_->pe).release(std::move(m.payload));
+}
+
+bool Comm::barrier_fast_forward() {
+  return engine_->barrier_fast_forward(*ctx_, comm_id_, *members_, rank_);
+}
+
+void Comm::tally_counts(std::span<const CountPair> out,
+                        std::vector<CountPair>& in) {
+  engine_->tally_counts(*ctx_, comm_id_, *members_, rank_, out, in);
 }
 
 Comm Comm::split(int color, int key) {

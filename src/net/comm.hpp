@@ -125,6 +125,20 @@ class Comm {
                   std::span<const std::byte> payload);
   Message recv_bytes(int src_rank, std::uint64_t tag);
 
+  /// Idle-phase fast-forward for coll::barrier: rendezvous all members on
+  /// the engine's board and let the last arriver replay the barrier's
+  /// clock/stats/noise effects bit-identically in one step. Returns false
+  /// when ineligible (PMPS_COLL_FF=0 or a NetworkModel is installed) — the
+  /// caller must then run the real message-by-message barrier.
+  bool barrier_fast_forward();
+
+  /// Engine-level sparse-counts rendezvous replacing the free-mode dense
+  /// Bruck exchange of coll::sparse_exchange_into: submit sorted
+  /// (dest rank, count) pairs, receive (src rank, count) pairs sorted by
+  /// src. See Engine::tally_counts.
+  void tally_counts(std::span<const CountPair> out,
+                    std::vector<CountPair>& in);
+
   /// Returns a consumed message's payload buffer to the engine's pool.
   /// Callers of recv_bytes should release once done with the payload; the
   /// typed recv helpers do it automatically.

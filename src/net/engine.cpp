@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 
 #include "common/check.hpp"
@@ -48,6 +49,30 @@ int fiber_workers(int num_pes) {
   return std::clamp(w, 1, num_pes);
 }
 
+int threads_max_p() {
+  // The legacy backend spawns one OS thread per PE per run; beyond a few
+  // thousand that exhausts process limits (thread stacks, pid slots) long
+  // before the run finishes. Refuse early with a clear error instead.
+  int cap = 4096;
+  if (const char* env = std::getenv("PMPS_THREADS_MAX_P")) {
+    const int v = std::atoi(env);
+    if (v >= 1) cap = v;
+  }
+  return cap;
+}
+
+bool coll_ff_from_env() {
+  const char* env = std::getenv("PMPS_COLL_FF");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+/// Approximately standard-normal deviate from three uniforms (Irwin–Hall).
+/// Must match comm.cpp's copy bit for bit: the barrier replay draws from
+/// the same noise streams the real sends would have drawn from.
+double approx_gauss(Xoshiro256& rng) {
+  return (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0;
+}
+
 }  // namespace
 
 Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed,
@@ -55,13 +80,26 @@ Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed,
     : num_pes_(num_pes),
       machine_(machine),
       seed_(seed),
-      backend_(resolve_backend(backend)) {
+      backend_(resolve_backend(backend)),
+      coll_ff_(coll_ff_from_env()) {
   PMPS_CHECK(num_pes >= 1);
+  // One mailbox shard per fiber worker (keyed dest PE % shards); the thread
+  // backend keeps its single-table semantics with exactly one shard.
+  const int num_shards =
+      backend_ == EngineBackend::kFibers ? fiber_workers(num_pes) : 1;
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s)
+    shards_.push_back(std::make_unique<MailboxShard>());
+  {
+    auto members = std::make_shared<std::vector<int>>(num_pes);
+    for (int i = 0; i < num_pes; ++i) (*members)[i] = i;
+    world_members_ = std::move(members);
+  }
   pes_.reserve(static_cast<std::size_t>(num_pes));
   for (int i = 0; i < num_pes; ++i) {
     auto ctx = std::make_unique<PeContext>();
     ctx->pe = i;
-    ctx->mailbox.set_node_pool(&node_pool_);
+    ctx->mailbox.set_node_pool(&node_pool(i));
     ctx->rng = Xoshiro256(seed, static_cast<std::uint64_t>(i));
     ctx->noise_rng =
         Xoshiro256(seed ^ 0x6e6f697365ULL, static_cast<std::uint64_t>(i));
@@ -84,6 +122,20 @@ void Engine::run(const std::function<void(Comm&)>& program) {
   ++run_counter_;
 
   failed_.store(false, std::memory_order_relaxed);
+  ff_barriers_.store(0, std::memory_order_relaxed);
+  ff_tallies_.store(0, std::memory_order_relaxed);
+  if (drain_needed_) {
+    // The aborted run may have left rendezvous cells mid-generation
+    // (members that threw never arrived); reset them alongside the
+    // mailboxes. Cells of a clean run end each generation at arrived == 0.
+    std::lock_guard lock(rv_mu_);
+    for (auto& [id, cell] : rv_cells_) {
+      cell->arrived = 0;
+      cell->aborted = false;
+      cell->parked_pes.clear();
+      for (auto& s : cell->slots) s = nullptr;
+    }
+  }
   for (auto& ctx : pes_) {
     // A failed (aborted) run legitimately leaves undelivered traffic and
     // poisoned mailboxes behind; flush both before reuse. After a clean
@@ -134,6 +186,14 @@ void Engine::run(const std::function<void(Comm&)>& program) {
     }
     pool_->run(num_pes_, body);
   } else {
+    const int cap = threads_max_p();
+    if (num_pes_ > cap) {
+      throw std::runtime_error(
+          "PMPS_ENGINE=threads refuses p=" + std::to_string(num_pes_) +
+          " (> cap " + std::to_string(cap) +
+          "): one OS thread per PE would exhaust the process. Use the fiber "
+          "backend for large p, or raise PMPS_THREADS_MAX_P.");
+    }
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_pes_));
     for (int i = 0; i < num_pes_; ++i) threads.emplace_back(body, i);
@@ -151,6 +211,20 @@ void Engine::abort_run(const std::string& why) {
   {
     std::lock_guard lock(fail_mu_);
     if (!failed_.exchange(true, std::memory_order_acq_rel)) fail_msg_ = why;
+  }
+  // Poison the rendezvous board first: members parked in a barrier
+  // fast-forward or count tally have no mailbox registration, so the
+  // mailbox poison below would never reach them.
+  {
+    std::lock_guard lock(rv_mu_);
+    for (auto& [id, cell] : rv_cells_) {
+      cell->aborted = true;
+      for (const int pe : cell->parked_pes) {
+        if (backend_ == EngineBackend::kFibers && pool_) pool_->wake(pe);
+      }
+      cell->parked_pes.clear();
+      cell->cv.notify_all();
+    }
   }
   // Poison every mailbox (the origin PE's too — it unwinds on its own
   // NetworkError and must not block again). Same wake discipline as
@@ -188,6 +262,168 @@ Message Engine::retrieve_message(PeContext& ctx, const MsgKey& key) {
   return ctx.mailbox.retrieve(key);
 }
 
+Engine::RendezvousCell& Engine::rv_cell_locked(std::uint64_t comm_id,
+                                               int size) {
+  auto it = rv_cells_.find(comm_id);
+  if (it == rv_cells_.end()) {
+    auto cell = std::make_unique<RendezvousCell>();
+    cell->size = size;
+    cell->slots.assign(static_cast<std::size_t>(size), nullptr);
+    cell->arrivals.assign(static_cast<std::size_t>(size), 0.0);
+    cell->parked_pes.reserve(static_cast<std::size_t>(size));
+    it = rv_cells_.emplace(comm_id, std::move(cell)).first;
+  }
+  PMPS_ASSERT(it->second->size == size);
+  return *it->second;
+}
+
+void Engine::rv_park(std::unique_lock<std::mutex>& lock, RendezvousCell& cell,
+                     int pe) {
+  const std::uint64_t gen0 = cell.gen;
+  if (backend_ == EngineBackend::kFibers && FiberPool::in_fiber()) {
+    // A rendezvous park is the long-lived collective wait: the whole phase
+    // blocks here, so the worker reclaims this fiber's cold stack span
+    // (prepare_block(true)). The registration (parked_pes) happens under
+    // rv_mu_, exactly like a mailbox wait registration under the mailbox
+    // lock, so a releasing/aborting peer can never miss us.
+    for (;;) {
+      cell.parked_pes.push_back(pe);
+      FiberPool::prepare_block(/*long_wait=*/true);
+      lock.unlock();
+      FiberPool::block_current();
+      lock.lock();
+      if (cell.aborted) throw RunAborted{};
+      if (cell.gen != gen0) return;
+    }
+  }
+  cell.cv.wait(lock, [&] { return cell.gen != gen0 || cell.aborted; });
+  if (cell.aborted) throw RunAborted{};
+}
+
+void Engine::rv_release_locked(RendezvousCell& cell) {
+  cell.arrived = 0;
+  ++cell.gen;
+  for (const int pe : cell.parked_pes) pool_->wake(pe);
+  cell.parked_pes.clear();
+  cell.cv.notify_all();
+}
+
+void Engine::replay_barrier(const std::vector<int>& members,
+                            std::vector<double>& arrivals) {
+  // Round-major replay of coll::barrier's dissemination pattern: all
+  // round-r sends in member-rank order, then all round-r receives. Each
+  // PE's own effect order (send r, recv r, send r+1, …) and every
+  // cross-PE dependency (a receive reads its sender's same-round arrival)
+  // match the real execution, and each PE's noise stream is drawn once per
+  // round in round order — so every clock, counter and RNG state ends bit
+  // for bit where the real message exchange would have left it.
+  const int p = static_cast<int>(members.size());
+  const MachineParams& m = machine_;
+  for (int round = 0, step = 1; step < p; ++round, step <<= 1) {
+    for (int i = 0; i < p; ++i) {
+      PeContext& s = *pes_[static_cast<std::size_t>(
+          members[static_cast<std::size_t>(i)])];
+      const int dest = (i + step) % p;
+      const LinkLevel lvl = m.level_between(
+          s.pe, members[static_cast<std::size_t>(dest)]);
+      if (s.free_mode || lvl == LinkLevel::kSelf) {
+        if (!s.free_mode) s.advance(m.copy_cost(1));
+        arrivals[static_cast<std::size_t>(dest)] = s.clock;
+        continue;
+      }
+      double cost = m.message_cost(lvl, 1);
+      if (m.comm_noise_frac > 0) {
+        const double f = 1.0 + m.comm_noise_frac * approx_gauss(s.noise_rng);
+        cost *= std::max(0.05, f);
+      }
+      if (lvl != LinkLevel::kNode) cost *= run_congestion_;
+      s.advance(cost);
+      arrivals[static_cast<std::size_t>(dest)] = s.clock;
+      s.stats.messages_sent += 1;
+      s.stats.phase_messages_sent[static_cast<int>(s.phase)] += 1;
+      s.stats.bytes_sent += 1;
+    }
+    for (int i = 0; i < p; ++i) {
+      PeContext& r = *pes_[static_cast<std::size_t>(
+          members[static_cast<std::size_t>(i)])];
+      const int src = (i - step % p + p) % p;
+      const LinkLevel lvl = m.level_between(
+          r.pe, members[static_cast<std::size_t>(src)]);
+      if (lvl == LinkLevel::kSelf || r.free_mode) continue;
+      const double arrival = arrivals[static_cast<std::size_t>(i)];
+      if (r.clock < arrival) {
+        r.advance_to(arrival);
+      } else {
+        r.advance(m.beta[static_cast<int>(lvl)] * 1.0);
+      }
+      r.stats.messages_received += 1;
+      r.stats.bytes_received += 1;
+    }
+  }
+}
+
+bool Engine::barrier_fast_forward(PeContext& ctx, std::uint64_t comm_id,
+                                  const std::vector<int>& members, int rank) {
+  if (!coll_ff_ || machine_.model != nullptr) return false;
+  (void)rank;
+  const int p = static_cast<int>(members.size());
+  std::unique_lock lock(rv_mu_);
+  RendezvousCell& cell = rv_cell_locked(comm_id, p);
+  if (cell.aborted) throw RunAborted{};
+  if (++cell.arrived < p) {
+    rv_park(lock, cell, ctx.pe);
+    return true;
+  }
+  // Last arriver: every other member is parked (or about to park — each
+  // registered under rv_mu_ before arriving counted), so their contexts
+  // are safe to write.
+  replay_barrier(members, cell.arrivals);
+  ff_barriers_.fetch_add(1, std::memory_order_relaxed);
+  rv_release_locked(cell);
+  return true;
+}
+
+void Engine::tally_counts(PeContext& ctx, std::uint64_t comm_id,
+                          const std::vector<int>& members, int rank,
+                          std::span<const CountPair> out,
+                          std::vector<CountPair>& in) {
+  const int p = static_cast<int>(members.size());
+  if (p == 1) {
+    // Only destination rank 0 exists; incoming pairs are our own with
+    // src rank 0 — the identical struct layout.
+    in.assign(out.begin(), out.end());
+    return;
+  }
+  std::unique_lock lock(rv_mu_);
+  RendezvousCell& cell = rv_cell_locked(comm_id, p);
+  if (cell.aborted) throw RunAborted{};
+  TallySlot slot{out.data(), out.size(), &in};
+  cell.slots[static_cast<std::size_t>(rank)] = &slot;
+  if (++cell.arrived < p) {
+    rv_park(lock, cell, ctx.pe);
+    return;
+  }
+  // Last arriver: scatter. Iterating source ranks ascending appends to
+  // every destination's `in` in ascending-src order — the order the dense
+  // Bruck result is consumed in (src 0…p−1).
+  for (int s = 0; s < p; ++s)
+    static_cast<TallySlot*>(cell.slots[static_cast<std::size_t>(s)])
+        ->in->clear();
+  for (int s = 0; s < p; ++s) {
+    const TallySlot* src =
+        static_cast<TallySlot*>(cell.slots[static_cast<std::size_t>(s)]);
+    for (std::size_t k = 0; k < src->n_out; ++k) {
+      const CountPair& cp = src->out[k];
+      static_cast<TallySlot*>(
+          cell.slots[static_cast<std::size_t>(cp.rank)])
+          ->in->push_back({static_cast<std::int32_t>(s), cp.count});
+    }
+  }
+  for (int s = 0; s < p; ++s) cell.slots[static_cast<std::size_t>(s)] = nullptr;
+  ff_tallies_.fetch_add(1, std::memory_order_relaxed);
+  rv_release_locked(cell);
+}
+
 RunReport Engine::report() const {
   RunReport r;
   for (const auto& ctx : pes_) {
@@ -204,6 +440,26 @@ RunReport Engine::report() const {
     r.total_bytes_sent += ctx->stats.bytes_sent;
     r.faults += ctx->stats.faults;
   }
+  r.engine.mailbox_shards = static_cast<int>(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::int64_t hw = shard->node_pool.high_water();
+    r.engine.mailbox_node_high_water =
+        std::max(r.engine.mailbox_node_high_water, hw);
+    r.engine.mailbox_nodes_total_high_water += hw;
+  }
+  if (pool_) {
+    const FiberStackStats ss = pool_->stack_stats();
+    r.engine.peak_stack_bytes = ss.peak_stack_bytes;
+    r.engine.current_stack_bytes = ss.current_stack_bytes;
+    r.engine.stack_bytes_reserved = ss.stack_bytes_reserved;
+    r.engine.stacks = ss.stacks;
+    r.engine.stack_acquires = ss.stack_acquires;
+    r.engine.stack_reclaims = ss.reclaims;
+    r.engine.stack_reclaimed_bytes = ss.reclaimed_bytes;
+  }
+  r.engine.collective_fast_forwards =
+      ff_barriers_.load(std::memory_order_relaxed);
+  r.engine.count_tallies = ff_tallies_.load(std::memory_order_relaxed);
   return r;
 }
 

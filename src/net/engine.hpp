@@ -24,11 +24,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.hpp"
@@ -48,16 +51,40 @@ enum class EngineBackend : int {
   kFibers = 2,   ///< cooperative fibers on a fixed worker pool
 };
 
-/// Reusable Θ(p)-sized scratch for the hot collectives: the per-call count
-/// vectors of coll::sparse_exchange_into and the working arrays of the
-/// Bruck counts exchange (coll::alltoall_counts_into). Per-PE and shared
-/// by every Comm of that PE, so a delivery's repeated sparse exchanges
-/// reuse warm capacity instead of allocating 2+ Θ(p) vectors per call.
+/// One (rank, message count) pair of a sparse exchange: the sparse
+/// replacement for a dense Θ(p) per-PE count vector. On the send side
+/// `rank` is a destination rank; on the receive side a source rank. Count
+/// lists are sorted by rank.
+struct CountPair {
+  std::int32_t rank = 0;
+  std::int64_t count = 0;
+};
+
+/// One member's contribution to an engine-level count tally (see
+/// Engine::tally_counts): its outgoing (dest rank, count) pairs and the
+/// scratch vector its incoming (src rank, count) pairs land in. Lives on
+/// the member's stack only while it is parked in the tally rendezvous.
+struct TallySlot {
+  const CountPair* out = nullptr;
+  std::size_t n_out = 0;
+  std::vector<CountPair>* in = nullptr;
+};
+
+/// Reusable scratch for the hot collectives, per-PE and shared by every
+/// Comm of that PE, so a delivery's repeated sparse exchanges reuse warm
+/// capacity instead of allocating fresh vectors per call. The dense
+/// counts_* / seq_per_dest vectors (Θ(p) each) and Bruck working arrays
+/// back the PMPS_COLL_FF=0 fallback path; the sx_* vectors (sized by the
+/// number of *distinct* destinations, not p) back the default tally path —
+/// at p = 2^15 three Θ(p) vectors per PE alone would cost ~25 GB host RAM.
 /// The collectives never nest within one PE, so distinct fields are never
 /// aliased by a live use.
 struct CollScratch {
   std::vector<std::int64_t> counts_out, counts_in, seq_per_dest;
   std::vector<std::int32_t> bruck_tmp, bruck_block, bruck_in;
+  std::vector<std::int32_t> sx_dests;      ///< piece dests, sorted for RLE
+  std::vector<CountPair> sx_out, sx_in;    ///< sparse out/in count pairs
+  std::vector<std::int64_t> sx_seq;        ///< per-distinct-dest send seq
 };
 
 /// All mutable per-PE state. Owned by the engine, accessed only by the
@@ -142,13 +169,57 @@ class Engine {
   void deposit_message(int dest_pe, Message&& m);
   Message retrieve_message(PeContext& ctx, const MsgKey& key);
 
-  /// Recycled payload buffers: senders acquire, receivers release after
-  /// copying the payload out (see BufferPool in mailbox.hpp).
-  BufferPool& buffer_pool() { return buffer_pool_; }
+  /// Recycled payload buffers for messages destined to PE `dest_pe`:
+  /// senders acquire from the destination's shard and the receiver releases
+  /// to its own — the same shard, so buffers never migrate. Sharded per
+  /// worker (one shard on the thread backend) so the warm acquire/release
+  /// path does not serialise every PE on one global pool mutex.
+  BufferPool& buffer_pool(int dest_pe) {
+    return shards_[static_cast<std::size_t>(dest_pe) % shards_.size()]
+        ->buffer_pool;
+  }
 
-  /// Recycled mailbox nodes, shared by every PE's mailbox (see MsgNodePool
-  /// in mailbox.hpp).
-  MsgNodePool& node_pool() { return node_pool_; }
+  /// Recycled mailbox nodes for PE `dest_pe`'s mailbox (same sharding as
+  /// buffer_pool; see MsgNodePool in mailbox.hpp).
+  MsgNodePool& node_pool(int dest_pe) {
+    return shards_[static_cast<std::size_t>(dest_pe) % shards_.size()]
+        ->node_pool;
+  }
+
+  /// Number of mailbox slab/pool shards (1 on the thread backend).
+  int mailbox_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Shared member list of the world communicator — every world Comm
+  /// aliases this one vector instead of materialising its own Θ(p) copy
+  /// per PE (4 GB at p = 2^15).
+  const std::shared_ptr<const std::vector<int>>& world_members() const {
+    return world_members_;
+  }
+
+  /// True when the idle-phase fast-forward paths (barrier replay, count
+  /// tally) are enabled — the default; PMPS_COLL_FF=0 restores the real
+  /// message-by-message execution for differential testing.
+  bool coll_ff_enabled() const { return coll_ff_; }
+
+  /// Idle-phase fast-forward of a dissemination barrier: when eligible
+  /// (fast-forward on, clean network), members rendezvous on the cell keyed
+  /// by `comm_id`; the last arriver replays the whole barrier's clock /
+  /// stats / noise-RNG effects round-major — bit-identically to the real
+  /// message exchange — and releases everyone in one step. Returns false
+  /// (caller must run the real barrier) when ineligible.
+  bool barrier_fast_forward(PeContext& ctx, std::uint64_t comm_id,
+                            const std::vector<int>& members, int rank);
+
+  /// Engine-level replacement for the sparse exchange's *free-mode* dense
+  /// counts exchange: members rendezvous with their (dest, count) pairs and
+  /// the last arriver scatters (src, count) pairs into every member's `in`
+  /// vector, sorted by src. Free-mode sends charge nothing, draw nothing
+  /// and count nothing, so this is bit-identical to the Bruck exchange it
+  /// replaces while touching O(messages) memory instead of Θ(p) per PE.
+  void tally_counts(PeContext& ctx, std::uint64_t comm_id,
+                    const std::vector<int>& members, int rank,
+                    std::span<const CountPair> out,
+                    std::vector<CountPair>& in);
 
   /// Aborts the current run with a per-run error: records the first `why`,
   /// poisons every mailbox so blocked PEs unwind (RunAborted) instead of
@@ -161,18 +232,67 @@ class Engine {
   RunReport report() const;
 
  private:
+  /// One mailbox shard: a node pool + payload buffer pool pair serving the
+  /// PEs with pe % mailbox_shards() == shard index. Splitting the slab/pool
+  /// state (each behind its own mutex) removes the single global pool lock
+  /// from the warm deposit→retrieve path.
+  struct MailboxShard {
+    MsgNodePool node_pool;
+    BufferPool buffer_pool;
+  };
+
+  /// One rendezvous cell of the fast-forward board, keyed by communicator
+  /// id (comm ids are deterministic, so cells persist across runs). Serves
+  /// both barrier replay and count tallies — SPMD lockstep guarantees the
+  /// members never mix the two within one generation. Guarded by rv_mu_.
+  struct RendezvousCell {
+    int size = 0;              ///< communicator size (fixed at creation)
+    int arrived = 0;           ///< members arrived this generation
+    std::uint64_t gen = 0;     ///< bumped on release; parked members wait on it
+    bool aborted = false;      ///< run aborted: parked members throw RunAborted
+    std::vector<void*> slots;  ///< per member rank: its TallySlot (tally only)
+    std::vector<double> arrivals;    ///< barrier replay: per-dest arrival time
+    std::vector<int> parked_pes;     ///< global PE ids parked (fiber backend)
+    std::condition_variable cv;      ///< thread backend park (waits on rv_mu_)
+  };
+
+  /// Finds or creates the cell for `comm_id` (rv_mu_ held). Creation is
+  /// cold — once per communicator; warm rendezvous only look up.
+  RendezvousCell& rv_cell_locked(std::uint64_t comm_id, int size);
+
+  /// Parks the calling member until the cell's generation advances
+  /// (rv_mu_ held via `lock`); throws RunAborted if the run was aborted.
+  void rv_park(std::unique_lock<std::mutex>& lock, RendezvousCell& cell,
+               int pe);
+
+  /// Releases a completed generation: bumps gen, wakes every parked member
+  /// (rv_mu_ held).
+  void rv_release_locked(RendezvousCell& cell);
+
+  /// Round-major replay of the dissemination barrier over `members` —
+  /// performed by the last arriver on behalf of all members (who are all
+  /// parked, so their contexts are safe to write).
+  void replay_barrier(const std::vector<int>& members,
+                      std::vector<double>& arrivals);
+
   int num_pes_;
   MachineParams machine_;
   std::uint64_t seed_;
   EngineBackend backend_;
+  bool coll_ff_ = true;
   double run_congestion_ = 1.0;
   std::uint64_t run_counter_ = 0;
   /// Declared before pes_ so mailboxes (which return nodes on teardown)
-  /// are destroyed while the pool is still alive.
-  MsgNodePool node_pool_;
+  /// are destroyed while their shard's pool is still alive.
+  std::vector<std::unique_ptr<MailboxShard>> shards_;
+  std::shared_ptr<const std::vector<int>> world_members_;
   std::vector<std::unique_ptr<PeContext>> pes_;
   std::unique_ptr<FiberPool> pool_;  ///< lazily created (fiber backend, p > 1)
-  BufferPool buffer_pool_;
+  // --- fast-forward board ---------------------------------------------------
+  std::mutex rv_mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<RendezvousCell>> rv_cells_;
+  std::atomic<std::int64_t> ff_barriers_{0};
+  std::atomic<std::int64_t> ff_tallies_{0};
   // --- abort state (lossy NetworkModel runs only) --------------------------
   std::atomic<bool> failed_{false};
   std::mutex fail_mu_;

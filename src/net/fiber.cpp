@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -265,13 +266,198 @@ struct FiberContext {
 #endif
 };
 
+namespace {
+
+/// Shared pool of fiber stacks. A fiber acquires a stack on its first
+/// resume and returns it on exit, so the pool's stack count converges to
+/// the peak number of concurrently live fibers and stacks are reused
+/// across fibers and runs (their touched pages stay warm).
+///
+/// Stacks are carved from mmap'd slabs with two layouts:
+///   - guarded (the first `guarded_cap` stacks): [guard][stack] pairs, an
+///     overflow faults immediately — 2 VMAs per stack;
+///   - packed (beyond the cap): one leading guard page, then many stacks
+///     back to back — 2 VMAs per slab of 64 stacks. This is what makes
+///     p = 2^15 possible at all: 32768 individually guarded stacks need
+///     65536 VMAs, above the default vm.max_map_count (65530). Packed
+///     stacks trade the per-stack guard for density; only the slab's lowest
+///     stack faults on overflow, the rest would first overrun a neighbour's
+///     cold end (256 KiB of headroom at the default stack size).
+///
+/// Residency accounting tracks, per stack, the lowest address known
+/// touched (`low_touch`); parking fibers report their saved stack pointer
+/// and long-lived collective parks madvise the cold span below the live
+/// frames back to the kernel (reclaim()).
+class StackPool {
+ public:
+  struct Stack {
+    char* lo = nullptr;        ///< lowest usable address (above any guard)
+    char* hi = nullptr;        ///< one past the highest usable address
+    char* low_touch = nullptr; ///< lowest address believed resident
+    bool guarded = false;
+  };
+
+  explicit StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {
+    guarded_cap_ = 4096;
+    if (const char* env = std::getenv("PMPS_FIBER_GUARDED_STACKS")) {
+      const long v = std::atol(env);
+      if (v >= 0) guarded_cap_ = static_cast<std::size_t>(v);
+    }
+  }
+
+  ~StackPool() {
+    for (const Slab& s : slabs_) munmap(s.base, s.bytes);
+  }
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  Stack* acquire() {
+    std::lock_guard lock(mu_);
+    acquires_.fetch_add(1, std::memory_order_relaxed);
+    if (free_.empty()) allocate_slab_locked();
+    Stack* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+
+  void release(Stack* s) {
+    std::lock_guard lock(mu_);
+    free_.push_back(s);
+  }
+
+  /// Updates residency accounting from a parked fiber's saved stack
+  /// pointer. Called by the owning worker only (the fiber is not
+  /// concurrently resumable), so the Stack fields need no lock.
+  void note_touch(Stack* s, void* sp) {
+    char* touched = page_floor(sp);
+    if (touched >= s->low_touch) return;
+    const auto delta = static_cast<std::int64_t>(s->low_touch - touched);
+    s->low_touch = touched;
+    const std::int64_t cur =
+        cur_touched_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t peak = peak_touched_.load(std::memory_order_relaxed);
+    while (cur > peak &&
+           !peak_touched_.compare_exchange_weak(peak, cur,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Returns the cold span of a long-parked stack to the kernel: everything
+  /// below one page under the live frames (red-zone margin) is
+  /// MADV_DONTNEED'd, so the parked fiber keeps roughly one committed page
+  /// plus its live frames. Must run while the fiber is still kBlocking —
+  /// i.e. before the worker publishes kBlocked — so no other worker can
+  /// resume onto the stack mid-madvise.
+  void reclaim(Stack* s, void* sp) {
+    char* keep_from = page_floor(sp) - page_size();
+    if (keep_from <= s->low_touch) return;  // nothing resident below margin
+    const auto span = static_cast<std::size_t>(keep_from - s->low_touch);
+    if (span < 4 * page_size()) return;  // not worth a syscall
+    if (madvise(s->low_touch, span, MADV_DONTNEED) != 0) return;
+    reclaims_.fetch_add(1, std::memory_order_relaxed);
+    reclaimed_bytes_.fetch_add(static_cast<std::int64_t>(span),
+                               std::memory_order_relaxed);
+    cur_touched_.fetch_sub(static_cast<std::int64_t>(span),
+                           std::memory_order_relaxed);
+    s->low_touch = keep_from;
+  }
+
+  std::size_t usable_bytes() const { return stack_bytes_; }
+
+  FiberStackStats stats() const {
+    FiberStackStats st;
+    {
+      std::lock_guard lock(mu_);
+      st.stacks = static_cast<std::int64_t>(all_.size());
+      st.guarded_stacks = guarded_count_;
+      st.stack_bytes_reserved = reserved_;
+    }
+    st.stack_acquires = acquires_.load(std::memory_order_relaxed);
+    st.peak_stack_bytes = peak_touched_.load(std::memory_order_relaxed);
+    st.current_stack_bytes = cur_touched_.load(std::memory_order_relaxed);
+    st.reclaims = reclaims_.load(std::memory_order_relaxed);
+    st.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+ private:
+  struct Slab {
+    char* base;
+    std::size_t bytes;
+  };
+
+  static constexpr std::size_t kGuardedPerSlab = 32;
+  static constexpr std::size_t kPackedPerSlab = 64;
+
+  static char* page_floor(void* p) {
+    return reinterpret_cast<char*>(reinterpret_cast<std::uintptr_t>(p) &
+                                   ~(page_size() - 1));
+  }
+
+  void allocate_slab_locked() {
+    const std::size_t ps = page_size();
+    const bool guarded = all_.size() < guarded_cap_;
+    const std::size_t count = guarded ? kGuardedPerSlab : kPackedPerSlab;
+    const std::size_t bytes =
+        guarded ? count * (ps + stack_bytes_) : ps + count * stack_bytes_;
+    void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    PMPS_CHECK_MSG(base != MAP_FAILED, "fiber stack slab mmap failed");
+    slabs_.push_back({static_cast<char*>(base), bytes});
+    reserved_ += static_cast<std::int64_t>(count * stack_bytes_);
+    char* p = static_cast<char*>(base);
+    if (!guarded) {
+      PMPS_CHECK(mprotect(p, ps, PROT_NONE) == 0);
+      p += ps;
+    }
+    all_.reserve(all_.size() + count);
+    free_.reserve(all_.capacity());
+    for (std::size_t i = 0; i < count; ++i) {
+      if (guarded) {
+        PMPS_CHECK(mprotect(p, ps, PROT_NONE) == 0);
+        p += ps;
+      }
+      auto s = std::make_unique<Stack>();
+      s->lo = p;
+      s->hi = p + stack_bytes_;
+      s->low_touch = s->hi;
+      s->guarded = guarded;
+      if (guarded) ++guarded_count_;
+      free_.push_back(s.get());
+      all_.push_back(std::move(s));
+      p += stack_bytes_;
+    }
+  }
+
+  const std::size_t stack_bytes_;
+  std::size_t guarded_cap_;
+
+  mutable std::mutex mu_;
+  std::vector<Slab> slabs_;
+  std::vector<std::unique_ptr<Stack>> all_;
+  std::vector<Stack*> free_;
+  std::int64_t reserved_ = 0;
+  std::int64_t guarded_count_ = 0;
+
+  std::atomic<std::int64_t> acquires_{0};
+  std::atomic<std::int64_t> cur_touched_{0};
+  std::atomic<std::int64_t> peak_touched_{0};
+  std::atomic<std::int64_t> reclaims_{0};
+  std::atomic<std::int64_t> reclaimed_bytes_{0};
+};
+
+}  // namespace
+
 struct FiberPool::Fiber {
   FiberContext ctx;
-  char* stack_base = nullptr;  ///< mmap base (guard page at the low end)
-  std::size_t stack_total = 0;
+  StackPool::Stack* stack = nullptr;  ///< pooled stack; null until 1st resume
   std::atomic<int> state{kRunnable};
   bool finished = false;
+  bool prepared = false;   ///< context laid out on `stack` for this run
+  bool long_wait = false;  ///< next park is a long-lived collective wait
   int index = -1;
+  int home = 0;  ///< worker shard this fiber is pinned to (index % workers)
   FiberPool* pool = nullptr;
 };
 
@@ -302,20 +488,32 @@ class RunQueue {
   std::uint64_t head_ = 0, tail_ = 0;    ///< free-running (masked on use)
 };
 
+/// One worker's scheduling shard: its own run queue behind its own
+/// mutex/condvar. Fibers are pinned to shard index % workers, and a wake()
+/// targets the woken fiber's home shard only — the scheduler has no global
+/// lock on the warm deposit→retrieve→wake path.
+struct FiberPool::Shard {
+  std::mutex mu;
+  std::condition_variable cv;  ///< this worker: queue non-empty or stop
+  RunQueue q;
+  bool stop = false;
+};
+
 struct FiberPool::Impl {
   std::size_t stack_bytes;
+  StackPool stack_pool;
+  std::vector<std::unique_ptr<Shard>> shards;  ///< one per worker
 
-  std::mutex mu;
-  std::condition_variable work_cv;  ///< workers: run queue non-empty or stop
+  std::mutex done_mu;
   std::condition_variable done_cv;  ///< run(): all fibers of this run done
-  RunQueue run_queue;
-  bool stop = false;
   int run_n = 0;
   int finished = 0;
 
   const std::function<void(int)>* body = nullptr;
   std::vector<std::unique_ptr<Fiber>> fibers;
   std::vector<std::thread> workers;
+
+  explicit Impl(std::size_t sb) : stack_bytes(sb), stack_pool(sb) {}
 };
 
 namespace {
@@ -323,32 +521,42 @@ thread_local FiberPool::Fiber* tl_current_fiber = nullptr;
 }
 
 FiberPool::FiberPool(int num_workers, std::size_t stack_bytes)
-    : num_workers_(num_workers), impl_(new Impl) {
+    : num_workers_(num_workers), impl_(nullptr) {
   PMPS_CHECK(num_workers >= 1);
   const std::size_t ps = page_size();
-  impl_->stack_bytes = ((stack_bytes + ps - 1) / ps) * ps;
+  impl_ = new Impl(((stack_bytes + ps - 1) / ps) * ps);
+  impl_->shards.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w)
+    impl_->shards.push_back(std::make_unique<Shard>());
   impl_->workers.reserve(static_cast<std::size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w)
-    impl_->workers.emplace_back([this] { worker_main(); });
+    impl_->workers.emplace_back([this, w] { worker_main(w); });
 }
 
 FiberPool::~FiberPool() {
-  {
-    std::lock_guard lock(impl_->mu);
-    impl_->stop = true;
+  for (auto& sh : impl_->shards) {
+    {
+      std::lock_guard lock(sh->mu);
+      sh->stop = true;
+    }
+    sh->cv.notify_all();
   }
-  impl_->work_cv.notify_all();
   for (auto& t : impl_->workers) t.join();
-  for (auto& f : impl_->fibers)
-    if (f->stack_base != nullptr) munmap(f->stack_base, f->stack_total);
-  delete impl_;
+  delete impl_;  // StackPool unmaps the slabs
 }
 
 bool FiberPool::in_fiber() { return tl_current_fiber != nullptr; }
 
-void FiberPool::prepare_block() {
+FiberStackStats FiberPool::stack_stats() const {
+  return impl_->stack_pool.stats();
+}
+
+bool FiberPool::reclaim_supported() { return PMPS_FIBER_ASM_CTX != 0; }
+
+void FiberPool::prepare_block(bool long_wait) {
   Fiber* f = tl_current_fiber;
   PMPS_CHECK_MSG(f != nullptr, "prepare_block outside a fiber");
+  f->long_wait = long_wait;
   f->state.store(kBlocking, std::memory_order_release);
 }
 
@@ -362,6 +570,7 @@ void FiberPool::block_current() {
 
 void FiberPool::wake(int index) {
   Fiber* f = impl_->fibers[static_cast<std::size_t>(index)].get();
+  Shard& home = *impl_->shards[static_cast<std::size_t>(f->home)];
   for (;;) {
     int s = f->state.load(std::memory_order_acquire);
     if (s == kBlocking) {
@@ -373,10 +582,10 @@ void FiberPool::wake(int index) {
       if (f->state.compare_exchange_weak(s, kRunnable,
                                          std::memory_order_acq_rel)) {
         {
-          std::lock_guard lock(impl_->mu);
-          impl_->run_queue.push(f);
+          std::lock_guard lock(home.mu);
+          home.q.push(f);
         }
-        impl_->work_cv.notify_one();
+        home.cv.notify_one();
         return;
       }
     } else {
@@ -413,15 +622,24 @@ void FiberPool::fiber_main(Fiber& f) {
   for (;;) f.ctx.suspend();
 }
 
-void FiberPool::worker_main() {
+void FiberPool::worker_main(int shard) {
+  Shard& sh = *impl_->shards[static_cast<std::size_t>(shard)];
   for (;;) {
     Fiber* f = nullptr;
     {
-      std::unique_lock lock(impl_->mu);
-      impl_->work_cv.wait(
-          lock, [this] { return impl_->stop || !impl_->run_queue.empty(); });
-      if (impl_->run_queue.empty()) return;  // stop requested, nothing queued
-      f = impl_->run_queue.pop();
+      std::unique_lock lock(sh.mu);
+      sh.cv.wait(lock, [&sh] { return sh.stop || !sh.q.empty(); });
+      if (sh.q.empty()) return;  // stop requested, nothing queued
+      f = sh.q.pop();
+    }
+
+    if (!f->prepared) {
+      // First resume of this run: take a pooled stack and lay the entry
+      // context out on it.
+      f->stack = impl_->stack_pool.acquire();
+      f->ctx.prepare(f->stack->lo, impl_->stack_pool.usable_bytes(),
+                     &FiberPool::trampoline, f);
+      f->prepared = true;
     }
 
     f->state.store(kRunning, std::memory_order_relaxed);
@@ -430,23 +648,39 @@ void FiberPool::worker_main() {
     tl_current_fiber = nullptr;
 
     if (f->finished) {
+      // Fiber exit: the stack goes back to the pool (its touched pages stay
+      // warm for the next acquirer).
+      impl_->stack_pool.release(f->stack);
+      f->stack = nullptr;
+      f->prepared = false;
       bool all_done = false;
       {
-        std::lock_guard lock(impl_->mu);
+        std::lock_guard lock(impl_->done_mu);
         all_done = ++impl_->finished == impl_->run_n;
       }
       if (all_done) impl_->done_cv.notify_all();
     } else {
+#if PMPS_FIBER_ASM_CTX
+      impl_->stack_pool.note_touch(f->stack, f->ctx.sp);
+      // Long-lived collective park: return the cold stack span to the
+      // kernel. This must happen while the state is still kBlocking — a
+      // waker can only flag kReady then, never resume the fiber, so the
+      // madvise cannot race a live stack. (Skip if a wake already raced:
+      // the fiber is about to run again.)
+      if (f->long_wait && f->state.load(std::memory_order_acquire) == kBlocking)
+        impl_->stack_pool.reclaim(f->stack, f->ctx.sp);
+#endif
+      f->long_wait = false;
       int expected = kBlocking;
       if (!f->state.compare_exchange_strong(expected, kBlocked,
                                             std::memory_order_acq_rel)) {
         // A wake() arrived while the fiber was switching out (kReady).
         f->state.store(kRunnable, std::memory_order_relaxed);
         {
-          std::lock_guard lock(impl_->mu);
-          impl_->run_queue.push(f);
+          std::lock_guard lock(sh.mu);
+          sh.q.push(f);
         }
-        impl_->work_cv.notify_one();
+        sh.cv.notify_one();
       }
     }
   }
@@ -455,21 +689,14 @@ void FiberPool::worker_main() {
 void FiberPool::run(int n, const std::function<void(int)>& body) {
   PMPS_CHECK(n >= 1);
   PMPS_CHECK_MSG(!in_fiber(), "FiberPool::run from inside a pool fiber");
-  const std::size_t ps = page_size();
 
-  // Grow the fiber set (stacks are kept and reused across runs).
+  // Grow the fiber set (small bookkeeping structs only — stacks are pooled
+  // and acquired lazily on each fiber's first resume).
   while (impl_->fibers.size() < static_cast<std::size_t>(n)) {
     auto f = std::make_unique<Fiber>();
     f->index = static_cast<int>(impl_->fibers.size());
+    f->home = f->index % num_workers_;
     f->pool = this;
-    f->stack_total = impl_->stack_bytes + ps;  // + guard page
-    void* base = mmap(nullptr, f->stack_total, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-    PMPS_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
-    f->stack_base = static_cast<char*>(base);
-    // Guard page at the low end — stacks grow downwards, so an overflow
-    // faults instead of corrupting the neighbouring fiber's stack.
-    PMPS_CHECK(mprotect(f->stack_base, ps, PROT_NONE) == 0);
     impl_->fibers.push_back(std::move(f));
   }
 
@@ -480,21 +707,27 @@ void FiberPool::run(int n, const std::function<void(int)>& body) {
   for (int i = 0; i < n; ++i) {
     Fiber* f = impl_->fibers[static_cast<std::size_t>(i)].get();
     f->finished = false;
+    f->prepared = false;
+    f->long_wait = false;
     f->state.store(kRunnable, std::memory_order_relaxed);
-    f->ctx.prepare(f->stack_base + ps, f->stack_total - ps,
-                   &FiberPool::trampoline, f);
+  }
+
+  const auto w = static_cast<std::size_t>(num_workers_);
+  for (std::size_t s = 0; s < w; ++s) {
+    Shard& sh = *impl_->shards[s];
+    const std::size_t mine = (static_cast<std::size_t>(n) + w - 1 - s) / w;
+    if (mine == 0) continue;
+    {
+      std::lock_guard lock(sh.mu);
+      sh.q.reserve(mine);
+      for (std::size_t i = s; i < static_cast<std::size_t>(n); i += w)
+        sh.q.push(impl_->fibers[i].get());
+    }
+    sh.cv.notify_one();
   }
 
   {
-    std::lock_guard lock(impl_->mu);
-    impl_->run_queue.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i)
-      impl_->run_queue.push(impl_->fibers[static_cast<std::size_t>(i)].get());
-  }
-  impl_->work_cv.notify_all();
-
-  {
-    std::unique_lock lock(impl_->mu);
+    std::unique_lock lock(impl_->done_mu);
     impl_->done_cv.wait(lock, [this] { return impl_->finished == impl_->run_n; });
   }
   impl_->body = nullptr;

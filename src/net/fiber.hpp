@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 // Fibers are available where we have a hand-rolled context switch (ELF
@@ -43,22 +44,47 @@ namespace pmps::net {
 /// True when the stackful-fiber backend is available on this platform.
 bool fibers_supported();
 
+/// Memory accounting for a FiberPool's shared stack pool (all byte values
+/// are host-side resident-memory estimates, not virtual reservations —
+/// except stack_bytes_reserved, which is the mapped total).
+struct FiberStackStats {
+  std::int64_t stacks = 0;           ///< stacks currently held by the pool
+  std::int64_t guarded_stacks = 0;   ///< stacks with their own guard page
+  std::int64_t stack_acquires = 0;   ///< lifetime acquire count (reuse ⇒ ≫ stacks)
+  std::int64_t stack_bytes_reserved = 0;  ///< mapped (virtual) stack bytes
+  std::int64_t peak_stack_bytes = 0;  ///< peak touched (resident) stack bytes
+  std::int64_t current_stack_bytes = 0;  ///< touched bytes right now
+  std::int64_t reclaims = 0;          ///< madvise(MADV_DONTNEED) calls
+  std::int64_t reclaimed_bytes = 0;   ///< bytes returned to the kernel
+};
+
 #if PMPS_HAS_FIBERS
 
 /// Fixed pool of worker threads executing cooperatively scheduled stackful
 /// fibers — the engine's default backend (PMPS_ENGINE=fibers). One pool
-/// per Engine; run() maps each simulated PE onto one fiber. Fibers, their
-/// guard-paged stacks, and the workers are reused across run() calls.
-/// Design and the blocking protocol: file comment above and
-/// docs/DESIGN.md §6.
+/// per Engine; run() maps each simulated PE onto one fiber.
+///
+/// Stacks come from a shared *stack pool* instead of one mmap per fiber: a
+/// fiber acquires a stack on its first resume and returns it when it exits,
+/// so the pool holds at most max-concurrently-live fibers' worth of stacks
+/// and reuses them across fibers and runs. Stacks are carved from slabs —
+/// individually guard-paged up to a threshold, then packed many-per-slab
+/// (one leading guard per slab), which keeps the VMA count far below the
+/// kernel's vm.max_map_count even at p = 2^15 where per-fiber guard
+/// mappings would exhaust it. A fiber parking in a long-lived collective
+/// wait (prepare_block(long_wait = true)) has the cold span of its stack
+/// madvise(MADV_DONTNEED)'d back to the kernel, down to roughly one
+/// committed page above its live frames — a parked PE costs bytes, not
+/// resident stack pages. Design and the blocking protocol: file comment
+/// above and docs/DESIGN.md §6, §11.
 class FiberPool {
  public:
   /// `num_workers` OS threads; each fiber gets `stack_bytes` of lazily
-  /// committed stack plus an inaccessible guard page.
+  /// committed stack from the shared pool.
   FiberPool(int num_workers, std::size_t stack_bytes);
 
-  /// Joins the workers and unmaps all fiber stacks. Must not be called
-  /// while a run() is in flight.
+  /// Joins the workers and unmaps the stack pool's slabs. Must not be
+  /// called while a run() is in flight.
   ~FiberPool();
 
   FiberPool(const FiberPool&) = delete;
@@ -75,10 +101,12 @@ class FiberPool {
   static bool in_fiber();
 
   /// Publishes the current fiber's intent to block. Call while holding the
-  /// lock that a waker will later hold (the mailbox lock), so that any
-  /// wake() issued after the registration finds the fiber in kBlocking or
-  /// later — never in kRunning.
-  static void prepare_block();
+  /// lock that a waker will later hold (the mailbox lock, or the engine's
+  /// rendezvous lock), so that any wake() issued after the registration
+  /// finds the fiber in kBlocking or later — never in kRunning.
+  /// `long_wait` marks a long-lived collective park (e.g. a barrier wait):
+  /// the worker reclaims the fiber's cold stack span before parking it.
+  static void prepare_block(bool long_wait = false);
 
   /// Parks the current fiber (after prepare_block). Returns once a wake()
   /// for this fiber has been issued.
@@ -93,12 +121,21 @@ class FiberPool {
   /// the hardware concurrency).
   int num_workers() const { return num_workers_; }
 
+  /// Snapshot of the stack pool's memory accounting.
+  FiberStackStats stack_stats() const;
+
+  /// True when the long-wait madvise reclaim is available (hand-rolled
+  /// context switch only: the ucontext fallback cannot expose the parked
+  /// stack pointer portably, so it skips reclaim).
+  static bool reclaim_supported();
+
   struct Fiber;  ///< implementation detail (fiber.cpp); opaque to callers
 
  private:
   struct Impl;
+  struct Shard;
 
-  void worker_main();
+  void worker_main(int shard);
   void fiber_main(Fiber& f);
   static void trampoline(void* arg);
 
@@ -115,10 +152,12 @@ class FiberPool {
   FiberPool(int, std::size_t) {}
   void run(int, const std::function<void(int)>&) {}
   static bool in_fiber() { return false; }
-  static void prepare_block() {}
+  static void prepare_block(bool = false) {}
   static void block_current() {}
   void wake(int) {}
   int num_workers() const { return 0; }
+  FiberStackStats stack_stats() const { return {}; }
+  static bool reclaim_supported() { return false; }
 };
 
 #endif  // PMPS_HAS_FIBERS

@@ -102,6 +102,7 @@ class BufferPool {
         cls[i] = std::move(cls.back());
         cls.pop_back();
         --retained_;
+        retained_bytes_ -= buf.capacity();
         return buf;
       }
     }
@@ -112,14 +113,17 @@ class BufferPool {
       std::vector<std::byte> buf = std::move(cls.back());
       cls.pop_back();
       --retained_;
+      retained_bytes_ -= buf.capacity();
       return buf;
     }
     return {};
   }
 
   /// Returns a drained payload buffer to its capacity class (cleared,
-  /// capacity kept). Buffers beyond the retention cap — and moved-from
-  /// husks with no capacity — are simply dropped.
+  /// capacity kept). Buffers beyond the retention caps — count *or* bytes,
+  /// the latter so a burst of huge one-off payloads (splitter tables at
+  /// large p) cannot pin gigabytes — and moved-from husks with no capacity
+  /// are simply dropped.
   void release(std::vector<std::byte>&& buf) {
     if (buf.capacity() == 0) return;
     buf.clear();
@@ -127,7 +131,9 @@ class BufferPool {
         std::min(floor_log2(static_cast<std::uint64_t>(buf.capacity())),
                  kClasses - 1);
     std::lock_guard lock(mu_);
-    if (retained_ < kMaxRetained) {
+    if (retained_ < kMaxRetained &&
+        retained_bytes_ + buf.capacity() <= kMaxRetainedBytes) {
+      retained_bytes_ += buf.capacity();
       free_[static_cast<std::size_t>(c)].push_back(std::move(buf));
       ++retained_;
     }
@@ -139,8 +145,10 @@ class BufferPool {
   /// every buffer in a higher class has capacity >= 2^(c+1) > hint.
   static constexpr int kClasses = 48;
   static constexpr std::size_t kMaxRetained = 8192;
+  static constexpr std::size_t kMaxRetainedBytes = 256u << 20;
   std::mutex mu_;
   std::size_t retained_ = 0;
+  std::size_t retained_bytes_ = 0;
   std::array<std::vector<std::vector<std::byte>>, kClasses> free_;
 };
 
@@ -189,6 +197,7 @@ class MsgNodePool {
     MsgNode* n = free_;
     free_ = n->next;
     n->next = nullptr;
+    if (++in_use_ > high_water_) high_water_ = in_use_;
     return n;
   }
 
@@ -199,6 +208,14 @@ class MsgNodePool {
     std::lock_guard lock(mu_);
     n->next = free_;
     free_ = n;
+    --in_use_;
+  }
+
+  /// Peak number of nodes simultaneously checked out — the pool's
+  /// high-water mark of in-flight messages (EngineStats reporting).
+  std::int64_t high_water() const {
+    std::lock_guard lock(mu_);
+    return high_water_;
   }
 
  private:
@@ -213,8 +230,10 @@ class MsgNodePool {
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   MsgNode* free_ = nullptr;
+  std::int64_t in_use_ = 0;
+  std::int64_t high_water_ = 0;
   std::vector<std::unique_ptr<MsgNode[]>> slabs_;
 };
 

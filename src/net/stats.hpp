@@ -64,6 +64,26 @@ struct CommStats {
   }
 };
 
+/// Host-side resource accounting of the engine itself — memory the
+/// *simulator* (not the simulated machine) used. Stack fields are zero on
+/// the thread backend and on single-PE inline runs (no fiber pool); the
+/// fast-forward counters are zero when PMPS_COLL_FF=0. None of these affect
+/// virtual time.
+struct EngineStats {
+  std::int64_t peak_stack_bytes = 0;      ///< peak resident fiber stack bytes
+  std::int64_t current_stack_bytes = 0;   ///< resident fiber stack bytes now
+  std::int64_t stack_bytes_reserved = 0;  ///< mapped (virtual) stack bytes
+  std::int64_t stacks = 0;                ///< pooled stacks ever created
+  std::int64_t stack_acquires = 0;  ///< lifetime acquires (reuse ⇒ ≫ stacks)
+  std::int64_t stack_reclaims = 0;  ///< madvise(MADV_DONTNEED) calls
+  std::int64_t stack_reclaimed_bytes = 0;  ///< stack bytes returned to kernel
+  int mailbox_shards = 0;  ///< slab/pool shards (1 on the thread backend)
+  std::int64_t mailbox_node_high_water = 0;  ///< max per-shard node peak
+  std::int64_t mailbox_nodes_total_high_water = 0;  ///< summed shard peaks
+  std::int64_t collective_fast_forwards = 0;  ///< barrier replays (last run)
+  std::int64_t count_tallies = 0;  ///< sparse-exchange count tallies (last run)
+};
+
 /// Aggregate over all PEs after a run: max virtual finish time, per-phase
 /// maxima (the bottleneck PE per phase), message-count extremes.
 struct RunReport {
@@ -74,6 +94,7 @@ struct RunReport {
   std::int64_t max_messages_sent = 0;
   std::int64_t total_bytes_sent = 0;
   FaultTotals faults;  ///< summed over PEs (all zero on a clean run)
+  EngineStats engine;  ///< host-side simulator resource accounting
 
   double phase(Phase p) const { return phase_max[static_cast<int>(p)]; }
   std::int64_t phase_messages(Phase p) const {

@@ -360,6 +360,111 @@ TEST(Engine, CleanModelGoldensHoldOnThreadBackend) {
   EXPECT_EQ(canonical_summary(rlm), kGoldenRlm);
 }
 
+TEST(Engine, CleanModelGoldensHoldWithFastForwardDisabled) {
+  // PMPS_COLL_FF=0 falls back to the message-by-message barrier and the
+  // dense Bruck counts exchange. The fast-forward replay is only correct if
+  // both paths produce the same virtual times — pin that with the goldens.
+  setenv("PMPS_COLL_FF", "0", 1);
+  EXPECT_EQ(canonical_summary(golden_ams_config()), kGoldenAms);
+  EXPECT_EQ(canonical_summary(golden_rlm_config()), kGoldenRlm);
+  unsetenv("PMPS_COLL_FF");
+  // And back on (the default): still the goldens.
+  EXPECT_EQ(canonical_summary(golden_ams_config()), kGoldenAms);
+}
+
+TEST(Engine, ThreadsBackendRefusesHugePeCounts) {
+  // One OS thread per PE cannot scale to paper-scale p; the engine must
+  // refuse with a clear error instead of exhausting the process.
+  setenv("PMPS_THREADS_MAX_P", "4", 1);
+  Engine engine(8, MachineParams::supermuc_like(), /*seed=*/1,
+                EngineBackend::kThreads);
+  EXPECT_THROW(engine.run([](Comm&) {}), std::runtime_error);
+  unsetenv("PMPS_THREADS_MAX_P");
+  // Under the cap the same engine runs fine.
+  std::atomic<int> count{0};
+  engine.run([&](Comm&) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Engine, EngineStatsReportMemoryAndFastForwardCounters) {
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  Engine engine(64, MachineParams::supermuc_like(), /*seed=*/1,
+                EngineBackend::kFibers);
+  engine.run([&](Comm& comm) {
+    const auto v = coll::allreduce_add_one(comm, 1);
+    EXPECT_EQ(v, 64);
+    coll::barrier(comm);
+  });
+  const EngineStats es = engine.report().engine;
+  EXPECT_GE(es.mailbox_shards, 1);
+  EXPECT_GT(es.mailbox_nodes_total_high_water, 0);
+  EXPECT_GE(es.mailbox_nodes_total_high_water, es.mailbox_node_high_water);
+  EXPECT_GT(es.peak_stack_bytes, 0);
+  EXPECT_GT(es.stack_bytes_reserved, 0);
+  EXPECT_EQ(es.collective_fast_forwards, 1);  // the one barrier
+}
+
+TEST(Engine, StackPoolReusesStacksAcrossRuns) {
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  Engine engine(32, MachineParams::supermuc_like(), /*seed=*/1,
+                EngineBackend::kFibers);
+  for (int r = 0; r < 4; ++r)
+    engine.run([](Comm& comm) { coll::barrier(comm); });
+  const EngineStats es = engine.report().engine;
+  // 4 runs × 32 fibers acquired, but the pool never needed more than one
+  // run's worth of stacks: exits recycle stacks instead of unmapping them.
+  EXPECT_GE(es.stack_acquires, 4 * 32);
+  EXPECT_LE(es.stacks, 32 + 4);  // small slack for worker-local caching
+  EXPECT_GT(es.stack_acquires, es.stacks);
+}
+
+// Touches ~64 KiB of stack, then blocks deep inside it (paired exchange with
+// the neighbour PE), so the pool's residency tracking sees the deep frames.
+__attribute__((noinline)) void deep_exchange(Comm& comm, std::uint64_t tag) {
+  std::array<char, 64 * 1024> pad;
+  pad.fill(static_cast<char>(comm.rank() + 1));
+  const int partner = comm.rank() ^ 1;
+  comm.send_one<std::int64_t>(partner, tag, pad[1234]);
+  const auto v = comm.recv_one<std::int64_t>(partner, tag);
+  EXPECT_EQ(v, partner + 1);
+}
+
+TEST(Engine, LongParkReclaimsColdStackPages) {
+  // After a fiber blocked deep (64 KiB of live frames) and later parks on a
+  // barrier with a shallow stack, the cold span below the parked frames goes
+  // back to the kernel via madvise(MADV_DONTNEED).
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  if (!FiberPool::reclaim_supported())
+    GTEST_SKIP() << "no stack reclaim on this context-switch backend";
+  Engine engine(16, MachineParams::supermuc_like(), /*seed=*/1,
+                EngineBackend::kFibers);
+  engine.run([&](Comm& comm) {
+    deep_exchange(comm, comm.next_tag_block());
+    coll::barrier(comm);  // long park, shallow frames
+  });
+  const EngineStats es = engine.report().engine;
+  EXPECT_GT(es.stack_reclaims, 0);
+  EXPECT_GT(es.stack_reclaimed_bytes, 0);
+  // Reclaim must not have broken the run: a second run still works and its
+  // fibers re-touch the reclaimed (zero-filled) pages without issue.
+  engine.run([&](Comm& comm) {
+    deep_exchange(comm, comm.next_tag_block());
+    coll::barrier(comm);
+  });
+}
+
+TEST(Engine, FastForwardCountsTalliesDuringAmsSort) {
+  // The sparse-counts rendezvous (tally_counts) replaces the free-mode dense
+  // Bruck exchange inside sparse_exchange_into; an AMS sort exercises it.
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  auto cfg = golden_ams_config();
+  cfg.backend = EngineBackend::kFibers;
+  const auto res = harness::run_sort_experiment(cfg);
+  EXPECT_TRUE(res.check.ok());
+  EXPECT_GT(res.report.engine.collective_fast_forwards, 0);
+  EXPECT_GT(res.report.engine.count_tallies, 0);
+}
+
 TEST(Engine, CleanModelGoldensHoldAcrossFiberWorkerCounts) {
   if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
   auto ams = golden_ams_config();

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
 
+#include "net/comm.hpp"
+#include "net/engine.hpp"
+#include "net/fiber.hpp"
 #include "net/mailbox.hpp"
 
 namespace pmps::net {
@@ -172,6 +176,69 @@ TEST(Mailbox, InterleavedChurnKeepsPerKeyFifoAcrossNodeReuse) {
   put(2);
   get(2);
   EXPECT_TRUE(mb.empty());
+}
+
+TEST(MsgNodePoolTest, HighWaterTracksPeakInUse) {
+  MsgNodePool pool;
+  std::vector<MsgNode*> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.high_water(), 5);
+  pool.release(held.back());
+  held.pop_back();
+  pool.release(held.back());
+  held.pop_back();
+  held.push_back(pool.acquire());  // back to 4 in use — peak unchanged
+  EXPECT_EQ(pool.high_water(), 5);
+  held.push_back(pool.acquire());
+  held.push_back(pool.acquire());  // 6 in use — new peak
+  EXPECT_EQ(pool.high_water(), 6);
+  for (MsgNode* n : held) pool.release(n);
+  EXPECT_EQ(pool.high_water(), 6);  // high-water survives full drain
+}
+
+TEST(BufferPoolTest, ByteCapDropsBuffersBeyondRetainedLimit) {
+  // The pool retains at most 256 MiB of payload capacity: a burst of huge
+  // one-off buffers (splitter tables at large p) must not stay pinned.
+  BufferPool pool;
+  constexpr std::size_t kBig = 64u << 20;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::byte> buf;
+    buf.reserve(kBig);
+    pool.release(std::move(buf));  // 5th release exceeds the cap — dropped
+  }
+  int retained = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (pool.acquire(kBig).capacity() >= kBig) ++retained;
+  }
+  EXPECT_EQ(retained, 4);
+}
+
+TEST(MailboxSharding, CrossShardTrafficDeliversExactlyUnderMultipleWorkers) {
+  // With PMPS_FIBER_WORKERS=3 the engine keys mailbox pool shards by
+  // destination PE; every send below crosses shard boundaries (all-to-all),
+  // and the shard high-water counters must see the traffic.
+  if (!fibers_supported()) GTEST_SKIP() << "no fiber backend on this platform";
+  setenv("PMPS_FIBER_WORKERS", "3", 1);
+  {
+    Engine engine(12, MachineParams::supermuc_like(), /*seed=*/2,
+                  EngineBackend::kFibers);
+    engine.run([](Comm& comm) {
+      const std::uint64_t tag = comm.next_tag_block();
+      const int p = comm.size();
+      for (int d = 0; d < p; ++d)
+        comm.send_one<std::int64_t>(d, tag, comm.rank() * 100 + d);
+      std::int64_t sum = 0;
+      for (int s = 0; s < p; ++s)
+        sum += comm.recv_one<std::int64_t>(s, tag);
+      // Σ_s (s·100 + me) over all senders s.
+      EXPECT_EQ(sum, 100 * (p * (p - 1) / 2) + p * comm.rank());
+    });
+    const EngineStats es = engine.report().engine;
+    EXPECT_EQ(es.mailbox_shards, 3);
+    EXPECT_GT(es.mailbox_node_high_water, 0);
+    EXPECT_GE(es.mailbox_nodes_total_high_water, es.mailbox_node_high_water);
+  }
+  unsetenv("PMPS_FIBER_WORKERS");
 }
 
 TEST(Mailbox, TeardownWithQueuedMessagesReleasesNodes) {
