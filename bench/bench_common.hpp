@@ -16,6 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "harness/runner.hpp"
+#include "svc/service.hpp"
+
 namespace pmps::bench {
 
 struct Flags {
@@ -116,6 +119,53 @@ inline double now_sec() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Outcome of a repetition batch run through the sort service.
+struct RepJobsOutcome {
+  std::vector<harness::RunResult> results;  ///< per rep, submission order
+  double host_seconds = 0;                  ///< submit-to-last-result time
+};
+
+/// Runs `reps` repetitions of `base` as overlapping jobs on `service`
+/// (seed varied per rep when `vary_seed`, matching the serial convention of
+/// re-running with seed + r). Each rep's virtual results are bit-identical
+/// to a serial run_sort_experiment of the same config; only host time
+/// changes. This is how benches collapse their repetition loops into one
+/// warm service batch instead of `reps` cold engine spin-ups.
+inline RepJobsOutcome run_reps_as_jobs(svc::SortService& service,
+                                       const harness::RunConfig& base,
+                                       int reps, bool vary_seed = true) {
+  RepJobsOutcome out;
+  const double t0 = now_sec();
+  std::vector<harness::SortJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    harness::RunConfig cfg = base;
+    if (vary_seed) cfg.seed = base.seed + static_cast<std::uint64_t>(r);
+    jobs.push_back(harness::submit_sort_experiment(service, cfg));
+  }
+  out.results.reserve(jobs.size());
+  for (auto& j : jobs) out.results.push_back(j.result());
+  out.host_seconds = now_sec() - t0;
+  return out;
+}
+
+/// The serial counterpart of run_reps_as_jobs: fresh engine per rep, same
+/// seed convention — the baseline the service's host-time delta is taken
+/// against.
+inline RepJobsOutcome run_reps_serial(const harness::RunConfig& base,
+                                      int reps, bool vary_seed = true) {
+  RepJobsOutcome out;
+  const double t0 = now_sec();
+  out.results.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    harness::RunConfig cfg = base;
+    if (vary_seed) cfg.seed = base.seed + static_cast<std::uint64_t>(r);
+    out.results.push_back(harness::run_sort_experiment(cfg));
+  }
+  out.host_seconds = now_sec() - t0;
+  return out;
 }
 
 }  // namespace pmps::bench

@@ -1,0 +1,220 @@
+// Sort-as-a-service throughput: jobs/sec for a repetition grid run as
+// overlapping jobs on one persistent SortService vs the same jobs run
+// serially, each on a fresh one-shot engine (worker spin-up, stack-pool and
+// mailbox-pool warm-up paid per job — the pre-service cost model).
+//
+// This is the ROADMAP's stated payoff for the persistent engine: the
+// MinuteSort framing of §7.3 is a sustained-service metric, and repetition
+// loops (benches, tuning probes, fault sweeps) are its small-scale
+// incarnation. Per-job virtual results are asserted bit-identical between
+// the two paths — the speedup is host time only.
+//
+// Results land in BENCH_service_throughput.json. With --check the bench
+// exits non-zero unless the service reaches >= 1.3x the serial jobs/sec at
+// every p >= 1024 row and every job's output passed verification — the
+// acceptance criterion CI enforces. Overlap needs somewhere to overlap
+// *to*: on a host whose fiber pool has a single worker (1 available CPU,
+// or PMPS_FIBER_WORKERS=1) concurrent jobs can only time-slice one core
+// and the warm-substrate savings (thread spawn, stack mmaps) are noise
+// next to a p >= 1024 job's simulation time. There the bench drops
+// max_in_flight to 1 and gates what is still falsifiable — bit-identity,
+// verification, and the service path not materially regressing serial
+// throughput (>= 0.85x) — and says so in the output.
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/check.hpp"
+#include "harness/runner.hpp"
+#include "harness/tables.hpp"
+#include "net/engine.hpp"
+#include "net/fiber.hpp"
+#include "svc/service.hpp"
+
+using namespace pmps;
+
+namespace {
+
+struct Row {
+  int p;
+  std::int64_t n_per_pe;
+  int jobs;
+  double serial_s = 0, service_s = 0;
+  double serial_jps = 0, service_jps = 0, speedup = 0;
+  bool identical = true;
+  bool verified = true;
+};
+
+Row measure_row(int p, std::int64_t n_per_pe, int jobs, int max_in_flight,
+                std::uint64_t seed) {
+  Row row{.p = p, .n_per_pe = n_per_pe, .jobs = jobs};
+  harness::RunConfig cfg;
+  cfg.algorithm = harness::Algorithm::kAms;
+  cfg.p = p;
+  cfg.n_per_pe = n_per_pe;
+  cfg.seed = seed;
+
+  // Two passes per path, best-of taken: the speedups here are tens of
+  // percent, comparable to scheduler noise on a shared host.
+  constexpr int kPasses = 2;
+  bench::RepJobsOutcome serial, via_service;
+  row.serial_s = row.service_s = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    // Serial baseline: one fresh engine (and fiber pool) per job.
+    bench::RepJobsOutcome s = bench::run_reps_serial(cfg, jobs);
+    if (s.host_seconds < row.serial_s) row.serial_s = s.host_seconds;
+    serial = std::move(s);
+
+    // Service: one warm substrate for the whole batch. Service
+    // construction (worker spin-up) is inside the timed region — paying
+    // it once instead of per job is precisely the point.
+    svc::ServiceOptions opt;
+    opt.max_in_flight = max_in_flight;
+    const double t0 = bench::now_sec();
+    bench::RepJobsOutcome v = [&] {
+      svc::SortService service(opt);
+      return bench::run_reps_as_jobs(service, cfg, jobs);
+    }();
+    const double dt = bench::now_sec() - t0;
+    if (dt < row.service_s) row.service_s = dt;
+    via_service = std::move(v);
+  }
+
+  for (int r = 0; r < jobs; ++r) {
+    const auto& a = serial.results[static_cast<std::size_t>(r)];
+    const auto& b = via_service.results[static_cast<std::size_t>(r)];
+    if (a.wall_time() != b.wall_time() ||
+        a.report.total_bytes_sent != b.report.total_bytes_sent ||
+        !(a.faults() == b.faults()))
+      row.identical = false;
+    if (!b.check.ok()) row.verified = false;
+  }
+  row.serial_jps = row.serial_s > 0 ? jobs / row.serial_s : 0;
+  row.service_jps = row.service_s > 0 ? jobs / row.service_s : 0;
+  row.speedup = row.serial_jps > 0 ? row.service_jps / row.serial_jps : 0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = bench::Flags::parse(argc, argv);
+  bool check = false;
+  // The service's worker-pool width on this host: number of CPUs the
+  // process may use, clamped by PMPS_FIBER_WORKERS.
+  const int pool_workers =
+      net::engine_fiber_workers(std::numeric_limits<int>::max());
+  const bool can_overlap = pool_workers >= 2;
+  int max_in_flight = can_overlap ? std::min(6, pool_workers) : 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") check = true;
+    if (std::string(argv[i]) == "--max-in-flight" && i + 1 < argc)
+      max_in_flight = std::atoi(argv[i + 1]);
+  }
+  const double floor = can_overlap ? 1.3 : 0.85;
+
+  if (!net::fibers_supported()) {
+    std::printf(
+        "service_throughput: SKIP (no fiber backend; the service falls back "
+        "to serial dispatch, so there is no overlap to measure)\n");
+    return 0;
+  }
+
+  std::printf(
+      "Sort-as-a-service throughput: jobs overlapping (max_in_flight = %d) "
+      "on one warm service vs serial one-shot engines\n",
+      max_in_flight);
+  if (can_overlap) {
+    std::printf("host: %d pool workers — gating overlap + warmth (%.2fx "
+                "floor at p >= 1024)\n\n",
+                pool_workers, floor);
+  } else {
+    std::printf(
+        "host: single pool worker — overlap is impossible, so gating "
+        "bit-identity and a no-regression guard only (%.2fx floor)\n\n",
+        floor);
+  }
+
+  struct Cell {
+    int p;
+    std::int64_t n_per_pe;
+    int jobs;
+  };
+  std::vector<Cell> grid{{256, 500, 12}, {1024, 200, 8}};
+  if (flags.large_p) grid.push_back({4096, 50, 6});
+
+  harness::Table table({"p", "n/p", "jobs", "serial [jobs/s]",
+                        "service [jobs/s]", "speedup", "identical"});
+  std::vector<Row> rows;
+  for (const Cell& c : grid) {
+    Row row = measure_row(c.p, c.n_per_pe, c.jobs, max_in_flight, flags.seed);
+    rows.push_back(row);
+    table.add_row({std::to_string(row.p), std::to_string(row.n_per_pe),
+                   std::to_string(row.jobs),
+                   harness::format_double(row.serial_jps, 2),
+                   harness::format_double(row.service_jps, 2),
+                   harness::format_double(row.speedup, 2) + "x",
+                   row.identical ? (row.verified ? "yes" : "UNSORTED")
+                                 : "NO"});
+  }
+  flags.csv ? table.print_csv() : table.print();
+
+  if (FILE* f = std::fopen("BENCH_service_throughput.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"service_throughput\",\n"
+                 "  \"max_in_flight\": %d,\n  \"pool_workers\": %d,\n"
+                 "  \"speedup_floor\": %.2f,\n  \"rows\": [\n",
+                 max_in_flight, pool_workers, floor);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"p\": %d, \"n_per_pe\": %lld, \"jobs\": %d, "
+                   "\"serial_jobs_per_sec\": %.3f, "
+                   "\"service_jobs_per_sec\": %.3f, \"speedup\": %.3f, "
+                   "\"identical\": %s, \"verified\": %s}%s\n",
+                   r.p, static_cast<long long>(r.n_per_pe), r.jobs,
+                   r.serial_jps, r.service_jps, r.speedup,
+                   r.identical ? "true" : "false",
+                   r.verified ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_service_throughput.json\n");
+  }
+
+  if (check) {
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (!r.identical) {
+        std::printf(
+            "check: FAIL — p=%d service results diverge from serial runs\n",
+            r.p);
+        ok = false;
+      }
+      if (!r.verified) {
+        std::printf("check: FAIL — p=%d service job output not sorted\n",
+                    r.p);
+        ok = false;
+      }
+      if (r.p >= 1024 && r.speedup < floor) {
+        std::printf(
+            "check: FAIL — p=%d service speedup %.2fx below the %.2fx "
+            "floor\n",
+            r.p, r.speedup, floor);
+        ok = false;
+      }
+    }
+    if (ok)
+      std::printf(
+          "check: OK (bit-identical to serial, verified, >=%.2fx the "
+          "serial jobs/sec at p >= 1024)\n",
+          floor);
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string_view>
+#include <utility>
 
 #include "ams/ams_sort.hpp"
 #include "baseline/block_bitonic.hpp"
@@ -19,6 +22,7 @@
 #include "net/engine.hpp"
 #include "net/network_model.hpp"
 #include "rlm/rlm_sort.hpp"
+#include "svc/service.hpp"
 
 namespace pmps::harness {
 
@@ -85,21 +89,31 @@ struct RunResult {
   const net::FaultTotals& faults() const { return report.faults; }
 };
 
-/// Runs one experiment end to end on a fresh engine.
-inline RunResult run_sort_experiment(const RunConfig& cfg) {
-  net::MachineParams machine = cfg.machine;
-  if (cfg.faults.any()) machine.model = cfg.faults.build(cfg.p, cfg.seed);
-  net::Engine engine(cfg.p, machine, cfg.seed, cfg.backend);
-  RunResult result;
-  std::mutex mu;
-
-  // Shared spill counters for this run (cfg.budget.stats, if the caller set
-  // one, is superseded so RunResult::spill is always this run's totals).
+/// Self-contained state of one sort experiment's program: the config plus
+/// everything rank 0 writes back. Held by shared_ptr so the program closure
+/// can outlive the submitting frame (service jobs run asynchronously); the
+/// spill counters live here too so budget.stats stays valid for the whole
+/// run.
+struct SortJobState {
+  explicit SortJobState(const RunConfig& c) : cfg(c) {
+    budget = cfg.budget;
+    budget.stats = &spill_stats;
+  }
+  RunConfig cfg;
   em::SpillStats spill_stats;
-  em::MemoryBudget budget = cfg.budget;
-  budget.stats = &spill_stats;
+  em::MemoryBudget budget;
+  std::mutex mu;
+  SortCheck check;
+  ams::AmsStats ams_stats;
+};
 
-  engine.run([&](net::Comm& comm) {
+/// The per-rank SPMD program of a sort experiment — shared verbatim by the
+/// serial runner and the service path, so a job's execution is the same
+/// code in both.
+inline std::function<void(net::Comm&)> make_sort_program(
+    std::shared_ptr<SortJobState> st) {
+  return [st = std::move(st)](net::Comm& comm) {
+    const RunConfig& cfg = st->cfg;
     auto data = make_workload(cfg.workload, comm.rank(), cfg.p, cfg.n_per_pe,
                               cfg.seed);
     const std::uint64_t in_hash =
@@ -111,14 +125,14 @@ inline RunResult run_sort_experiment(const RunConfig& cfg) {
       case Algorithm::kAms: {
         auto a = cfg.ams;
         a.seed = cfg.seed;
-        a.budget = budget;
+        a.budget = st->budget;
         stats = ams::ams_sort(comm, data, a);
         break;
       }
       case Algorithm::kRlm: {
         auto r = cfg.rlm;
         r.seed = cfg.seed;
-        r.budget = budget;
+        r.budget = st->budget;
         rlm::rlm_sort(comm, data, r);
         break;
       }
@@ -135,7 +149,7 @@ inline RunResult run_sort_experiment(const RunConfig& cfg) {
         baseline::GvConfig g;
         g.levels = cfg.ams.levels;
         g.seed = cfg.seed;
-        g.budget = budget;
+        g.budget = st->budget;
         baseline::gv_sample_sort(comm, data, g);
         break;
       }
@@ -154,15 +168,72 @@ inline RunResult run_sort_experiment(const RunConfig& cfg) {
         comm, std::span<const std::uint64_t>(data.data(), data.size()),
         in_hash, in_count);
     if (comm.rank() == 0) {
-      std::lock_guard lock(mu);
-      result.check = check;
-      result.ams_stats = std::move(stats);
+      std::lock_guard lock(st->mu);
+      st->check = check;
+      st->ams_stats = std::move(stats);
     }
-  });
+  };
+}
 
-  result.report = engine.report();
-  result.spill = spill_stats.totals();
+/// Assembles a RunResult from a finished experiment's state + report.
+inline RunResult collect_sort_result(const SortJobState& st,
+                                     net::RunReport report) {
+  RunResult result;
+  result.report = std::move(report);
+  result.check = st.check;
+  result.ams_stats = st.ams_stats;
+  result.spill = st.spill_stats.totals();
   return result;
+}
+
+/// Runs one experiment end to end on a fresh engine.
+inline RunResult run_sort_experiment(const RunConfig& cfg) {
+  net::MachineParams machine = cfg.machine;
+  if (cfg.faults.any()) machine.model = cfg.faults.build(cfg.p, cfg.seed);
+  net::Engine engine(cfg.p, machine, cfg.seed, cfg.backend);
+  auto st = std::make_shared<SortJobState>(cfg);
+  engine.run(make_sort_program(st));
+  return collect_sort_result(*st, engine.report());
+}
+
+/// A sort experiment submitted to a SortService: the service-side handle
+/// plus the program state the result is assembled from.
+struct SortJob {
+  svc::JobHandle handle;
+  std::shared_ptr<SortJobState> state;
+
+  /// Waits for the job and returns its result, mirroring
+  /// run_sort_experiment's contract: a job whose network model exhausted
+  /// its retry budget throws NetworkError with the same message the serial
+  /// run would have thrown. Throws runtime_error for a cancelled job.
+  RunResult result() {
+    svc::JobResult r = handle.wait();
+    if (r.state == svc::JobState::kFailed) throw net::NetworkError(r.error);
+    if (r.state == svc::JobState::kCancelled)
+      throw std::runtime_error("sort job cancelled: " + r.error);
+    return collect_sort_result(*state, std::move(r.report));
+  }
+};
+
+/// Submits one experiment as a service job — the exact program and machine
+/// run_sort_experiment(cfg) would execute, so the job's output, virtual
+/// times and fault totals are bit-identical to the serial call. The
+/// config's `backend` field is ignored (the service's backend governs).
+inline SortJob submit_sort_experiment(svc::SortService& service,
+                                      const RunConfig& cfg) {
+  net::MachineParams machine = cfg.machine;
+  if (cfg.faults.any()) machine.model = cfg.faults.build(cfg.p, cfg.seed);
+  auto st = std::make_shared<SortJobState>(cfg);
+  svc::JobSpec spec;
+  spec.num_pes = cfg.p;
+  spec.machine = machine;
+  spec.seed = cfg.seed;
+  spec.program = make_sort_program(st);
+  spec.name = std::string(algorithm_name(cfg.algorithm));
+  SortJob job;
+  job.state = std::move(st);
+  job.handle = service.submit(std::move(spec));
+  return job;
 }
 
 }  // namespace pmps::harness

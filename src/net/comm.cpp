@@ -34,7 +34,10 @@ Comm::Comm(Engine* engine, int pe)
       // p = 2^15).
       members_(engine->world_members()),
       rank_(pe),
-      comm_id_(1) {}
+      // The engine's job namespace: 1 standalone, a per-job odd id under a
+      // SortService. Every sub-communicator id chains off this root, so
+      // concurrent jobs' mailbox keys and rendezvous cells never collide.
+      comm_id_(engine->world_comm_id()) {}
 
 Comm::Comm(Engine* engine, PeContext* ctx,
            std::shared_ptr<const std::vector<int>> members, int rank,
@@ -118,7 +121,7 @@ double Comm::send_with_model(const NetworkModel& model, LinkLevel lvl,
                   "attempts, retry budget exhausted",
                   ctx_->pe, dest_pe, static_cast<unsigned long long>(a.seq),
                   out.attempts);
-    engine_->abort_run(why);
+    engine_->abort_run(why, start, ctx_->pe);
     throw NetworkError(why);
   }
 

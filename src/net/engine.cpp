@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "common/check.hpp"
 #include "net/comm.hpp"
@@ -73,23 +74,60 @@ double approx_gauss(Xoshiro256& rng) {
   return (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0;
 }
 
+/// SplitMix64 finaliser: spreads job ids across the 64-bit comm-id space so
+/// concurrent jobs' communicator-id chains never collide.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+EngineSubstrate::EngineSubstrate(int num_shards) {
+  PMPS_CHECK(num_shards >= 1);
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s)
+    shards_.push_back(std::make_unique<MailboxShard>());
+}
+
+EngineSubstrate::~EngineSubstrate() = default;
+
+FiberPool* EngineSubstrate::ensure_pool(int workers, std::size_t stack_bytes) {
+  if (!fibers_supported()) return nullptr;
+  std::lock_guard lock(pool_mu_);
+  if (!pool_) pool_ = std::make_unique<FiberPool>(workers, stack_bytes);
+  return pool_.get();
+}
 
 Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed,
                EngineBackend backend)
+    : Engine(num_pes, machine, seed, backend, nullptr, /*job_id=*/0) {}
+
+Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed,
+               EngineBackend backend,
+               std::shared_ptr<EngineSubstrate> substrate, std::uint64_t job_id)
     : num_pes_(num_pes),
       machine_(machine),
       seed_(seed),
       backend_(resolve_backend(backend)),
-      coll_ff_(coll_ff_from_env()) {
+      job_id_(job_id),
+      coll_ff_(coll_ff_from_env()),
+      substrate_(std::move(substrate)) {
   PMPS_CHECK(num_pes >= 1);
-  // One mailbox shard per fiber worker (keyed dest PE % shards); the thread
-  // backend keeps its single-table semantics with exactly one shard.
-  const int num_shards =
-      backend_ == EngineBackend::kFibers ? fiber_workers(num_pes) : 1;
-  shards_.reserve(static_cast<std::size_t>(num_shards));
-  for (int s = 0; s < num_shards; ++s)
-    shards_.push_back(std::make_unique<MailboxShard>());
+  if (!substrate_) {
+    // Standalone engine: private substrate with one mailbox shard per fiber
+    // worker (keyed dest PE % shards); the thread backend keeps its
+    // single-table semantics with exactly one shard.
+    const int num_shards =
+        backend_ == EngineBackend::kFibers ? fiber_workers(num_pes) : 1;
+    substrate_ = std::make_shared<EngineSubstrate>(num_shards);
+  } else {
+    // Service engine: the shared pool already exists (the service creates
+    // it eagerly before admitting jobs).
+    pool_ = substrate_->pool();
+  }
   {
     auto members = std::make_shared<std::vector<int>>(num_pes);
     for (int i = 0; i < num_pes; ++i) (*members)[i] = i;
@@ -109,7 +147,11 @@ Engine::Engine(int num_pes, MachineParams machine, std::uint64_t seed,
 
 Engine::~Engine() = default;
 
-void Engine::run(const std::function<void(Comm&)>& program) {
+std::uint64_t Engine::world_comm_id() const {
+  return job_id_ == 0 ? 1 : (mix64(job_id_) | 1ULL);
+}
+
+void Engine::prepare_run() {
   // Correlated congestion: one factor per run (interfering traffic on the
   // shared island interconnect, cf. the fluctuation discussion in §7.2).
   run_congestion_ = 1.0;
@@ -155,36 +197,52 @@ void Engine::run(const std::function<void(Comm&)>& program) {
         Xoshiro256(seed_ ^ 0x6e6f697365ULL, static_cast<std::uint64_t>(ctx->pe));
   }
   drain_needed_ = false;
+}
 
-  // Per-PE body: on an aborted run the origin PE unwinds on the
-  // NetworkError it threw (abort_run already recorded it) and every other
-  // PE on the RunAborted its poisoned mailbox raises; both stop here so
-  // the backend's fiber/thread finishes normally and run() can rethrow
-  // once, after the join. Any other exception still propagates (and, on
-  // the fiber backend, terminates — see fiber.hpp).
-  const auto body = [this, &program](int pe) {
-    Comm comm(this, pe);
-    try {
-      program(comm);
-    } catch (const RunAborted&) {
-    } catch (const NetworkError&) {
-    }
-  };
+// On an aborted run the origin PE unwinds on the NetworkError it threw
+// (abort_run already recorded it) and every other PE on the RunAborted its
+// poisoned mailbox raises; both stop here so the backend's fiber/thread
+// finishes normally and the failure is reported once, after the join. Any
+// other exception still propagates (and, on the fiber backend, terminates —
+// see fiber.hpp).
+void Engine::run_pe(int pe, const std::function<void(Comm&)>& program) {
+  Comm comm(this, pe);
+  try {
+    program(comm);
+  } catch (const RunAborted&) {
+  } catch (const NetworkError&) {
+  }
+}
+
+std::optional<std::string> Engine::collect_failure() {
+  if (!failed_.load(std::memory_order_acquire)) return std::nullopt;
+  drain_needed_ = true;
+  std::lock_guard lock(fail_mu_);
+  return fail_msg_;
+}
+
+void Engine::run_sync(const std::function<void(Comm&)>& program) {
+  prepare_run();
 
   if (num_pes_ == 1) {
     // Inline run: a single PE only ever sends to itself (kSelf links carry
-    // no faults), so no abort can originate and no wrapper is needed.
-    Comm comm(this, 0);
-    program(comm);
+    // no faults), so no abort can originate from inside; run_pe still
+    // wraps the program so an external (service-side) abort_run unwinds
+    // cleanly instead of escaping.
+    run_pe(0, program);
     return;
   }
 
   if (backend_ == EngineBackend::kFibers) {
-    if (!pool_) {
-      pool_ = std::make_unique<FiberPool>(fiber_workers(num_pes_),
-                                          fiber_stack_bytes());
-    }
-    pool_->run(num_pes_, body);
+    if (!pool_)
+      pool_ = substrate_->ensure_pool(fiber_workers(num_pes_),
+                                      fiber_stack_bytes());
+    if (!batch_) batch_ = pool_->create_batch(num_pes_);
+    cur_batch_.store(batch_.get(), std::memory_order_release);
+    pool_->launch(*batch_,
+                  [this, &program](int pe) { run_pe(pe, program); });
+    batch_->wait();
+    cur_batch_.store(nullptr, std::memory_order_release);
   } else {
     const int cap = threads_max_p();
     if (num_pes_ > cap) {
@@ -196,32 +254,74 @@ void Engine::run(const std::function<void(Comm&)>& program) {
     }
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_pes_));
-    for (int i = 0; i < num_pes_; ++i) threads.emplace_back(body, i);
+    for (int i = 0; i < num_pes_; ++i)
+      threads.emplace_back([this, &program, i] { run_pe(i, program); });
     for (auto& t : threads) t.join();
-  }
-
-  if (failed_.load(std::memory_order_acquire)) {
-    drain_needed_ = true;
-    std::lock_guard lock(fail_mu_);
-    throw NetworkError(fail_msg_);
   }
 }
 
+void Engine::run(const std::function<void(Comm&)>& program) {
+  run_sync(program);
+  if (auto err = collect_failure()) throw NetworkError(*err);
+}
+
+void Engine::start_run(std::function<void(Comm&)> program,
+                       std::function<void()> on_complete) {
+  run_program_ = std::move(program);
+  if (backend_ == EngineBackend::kFibers && num_pes_ > 1) {
+    prepare_run();
+    if (!pool_)
+      pool_ = substrate_->ensure_pool(fiber_workers(num_pes_),
+                                      fiber_stack_bytes());
+    if (!batch_) batch_ = pool_->create_batch(num_pes_);
+    cur_batch_.store(batch_.get(), std::memory_order_release);
+    pool_->launch(*batch_, [this](int pe) { run_pe(pe, run_program_); },
+                  std::move(on_complete));
+    return;
+  }
+  // Synchronous fallback (p == 1 inline runs, thread backend): the run
+  // completes before start_run returns and on_complete fires on the caller.
+  run_sync(run_program_);
+  if (on_complete) on_complete();
+}
+
+std::optional<std::string> Engine::finish_run() {
+  if (FiberBatch* b = cur_batch_.load(std::memory_order_acquire)) {
+    b->wait();
+    cur_batch_.store(nullptr, std::memory_order_release);
+  }
+  run_program_ = nullptr;
+  return collect_failure();
+}
+
 void Engine::abort_run(const std::string& why) {
+  // Host-initiated: ranks below every simulated failure (pe -1 breaks the
+  // tie at any time), but never displaces an earlier host abort.
+  abort_run(why, -1.0, -1);
+}
+
+void Engine::abort_run(const std::string& why, double at_time, int pe) {
   {
     std::lock_guard lock(fail_mu_);
-    if (!failed_.exchange(true, std::memory_order_acq_rel)) fail_msg_ = why;
+    const bool first = !failed_.exchange(true, std::memory_order_acq_rel);
+    if (first || std::tie(at_time, pe) < std::tie(fail_time_, fail_pe_)) {
+      fail_msg_ = why;
+      fail_time_ = at_time;
+      fail_pe_ = pe;
+    }
   }
   // Poison the rendezvous board first: members parked in a barrier
   // fast-forward or count tally have no mailbox registration, so the
-  // mailbox poison below would never reach them.
+  // mailbox poison below would never reach them. Wakes target this
+  // engine's in-flight batch only, so a service-side abort never touches
+  // sibling jobs' fibers.
+  FiberBatch* b = cur_batch_.load(std::memory_order_acquire);
   {
     std::lock_guard lock(rv_mu_);
     for (auto& [id, cell] : rv_cells_) {
       cell->aborted = true;
-      for (const int pe : cell->parked_pes) {
-        if (backend_ == EngineBackend::kFibers && pool_) pool_->wake(pe);
-      }
+      if (b)
+        for (const int pe : cell->parked_pes) b->wake(pe);
       cell->parked_pes.clear();
       cell->cv.notify_all();
     }
@@ -231,8 +331,8 @@ void Engine::abort_run(const std::string& why) {
   // deposit_message, so a registered waiter is always resumed.
   for (auto& ctx : pes_) {
     const int pe = ctx->pe;
-    if (backend_ == EngineBackend::kFibers && pool_) {
-      ctx->mailbox.poison([this, pe] { pool_->wake(pe); });
+    if (b) {
+      ctx->mailbox.poison([b, pe] { b->wake(pe); });
     } else {
       ctx->mailbox.poison();
     }
@@ -241,9 +341,8 @@ void Engine::abort_run(const std::string& why) {
 
 void Engine::deposit_message(int dest_pe, Message&& m) {
   PeContext& dst = *pes_[static_cast<std::size_t>(dest_pe)];
-  if (backend_ == EngineBackend::kFibers && pool_) {
-    dst.mailbox.deposit(std::move(m),
-                        [this, dest_pe] { pool_->wake(dest_pe); });
+  if (FiberBatch* b = cur_batch_.load(std::memory_order_acquire)) {
+    dst.mailbox.deposit(std::move(m), [b, dest_pe] { b->wake(dest_pe); });
   } else {
     dst.mailbox.deposit(std::move(m));
   }
@@ -303,8 +402,13 @@ void Engine::rv_park(std::unique_lock<std::mutex>& lock, RendezvousCell& cell,
 void Engine::rv_release_locked(RendezvousCell& cell) {
   cell.arrived = 0;
   ++cell.gen;
-  for (const int pe : cell.parked_pes) pool_->wake(pe);
-  cell.parked_pes.clear();
+  if (!cell.parked_pes.empty()) {
+    // parked_pes is only populated on the fiber path, during a run — the
+    // in-flight batch is always set here.
+    FiberBatch* b = cur_batch_.load(std::memory_order_acquire);
+    for (const int pe : cell.parked_pes) b->wake(pe);
+    cell.parked_pes.clear();
+  }
   cell.cv.notify_all();
 }
 
@@ -440,9 +544,15 @@ RunReport Engine::report() const {
     r.total_bytes_sent += ctx->stats.bytes_sent;
     r.faults += ctx->stats.faults;
   }
-  r.engine.mailbox_shards = static_cast<int>(shards_.size());
-  for (const auto& shard : shards_) {
-    const std::int64_t hw = shard->node_pool.high_water();
+  // Host-resource fields below (mailbox pools, fiber stacks) snapshot the
+  // *substrate*, which stays warm by design: on a standalone engine they
+  // are engine-lifetime high-waters; under a SortService they are shared
+  // across every job on the substrate. All simulated per-job metrics above
+  // (clocks, phase times, message/byte counters, faults) reset per run.
+  r.engine.mailbox_shards = substrate_->num_shards();
+  for (int s = 0; s < substrate_->num_shards(); ++s) {
+    const std::int64_t hw =
+        substrate_->shard(static_cast<std::size_t>(s)).node_pool.high_water();
     r.engine.mailbox_node_high_water =
         std::max(r.engine.mailbox_node_high_water, hw);
     r.engine.mailbox_nodes_total_high_water += hw;
@@ -470,5 +580,13 @@ RunReport run_spmd(int num_pes, const MachineParams& machine,
   engine.run(program);
   return engine.report();
 }
+
+EngineBackend resolve_engine_backend(EngineBackend requested) {
+  return resolve_backend(requested);
+}
+
+int engine_fiber_workers(int num_pes) { return fiber_workers(num_pes); }
+
+std::size_t engine_fiber_stack_bytes() { return fiber_stack_bytes(); }
 
 }  // namespace pmps::net

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -42,6 +43,7 @@
 namespace pmps::net {
 
 class Comm;
+class FiberBatch;
 class FiberPool;
 
 /// How Engine::run executes the p simulated PEs.
@@ -138,10 +140,63 @@ class FreeModeGuard {
   bool prev_;
 };
 
+/// One mailbox shard: a node pool + payload buffer pool pair serving the
+/// PEs with pe % num_shards == shard index. Splitting the slab/pool state
+/// (each behind its own mutex) removes the single global pool lock from
+/// the warm deposit→retrieve path.
+struct MailboxShard {
+  MsgNodePool node_pool;
+  BufferPool buffer_pool;
+};
+
+/// The engine's host-side execution resources — the fiber worker pool and
+/// the mailbox node/payload pool shards. A standalone Engine owns a private
+/// substrate (exactly the pre-service behavior); a svc::SortService creates
+/// one substrate and shares it across every job's engine, so the worker
+/// threads, pooled stacks, and recycled buffers stay warm across jobs.
+/// Everything in here is content-agnostic bookkeeping: sharing it between
+/// concurrent jobs cannot leak any simulated state between them.
+class EngineSubstrate {
+ public:
+  explicit EngineSubstrate(int num_shards);
+  ~EngineSubstrate();
+
+  EngineSubstrate(const EngineSubstrate&) = delete;
+  EngineSubstrate& operator=(const EngineSubstrate&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  MailboxShard& shard(std::size_t i) { return *shards_[i]; }
+
+  /// The shared fiber pool, created on first use with the given geometry
+  /// (later calls return the existing pool regardless of arguments).
+  /// Thread-safe; returns nullptr when fibers are unsupported.
+  FiberPool* ensure_pool(int workers, std::size_t stack_bytes);
+  /// The pool if one was created, else nullptr.
+  FiberPool* pool() const { return pool_.get(); }
+
+ private:
+  std::vector<std::unique_ptr<MailboxShard>> shards_;
+  std::mutex pool_mu_;
+  std::unique_ptr<FiberPool> pool_;
+};
+
 class Engine {
  public:
   Engine(int num_pes, MachineParams machine, std::uint64_t seed = 1,
          EngineBackend backend = EngineBackend::kAuto);
+
+  /// Service-path engine: runs on a shared `substrate` (warm fiber workers
+  /// and mailbox pools) instead of creating private ones. `job_id` gives
+  /// the engine its own Comm namespace — it is folded into the world
+  /// communicator id and thus into every mailbox key and rendezvous cell id
+  /// derived from it (job_id 0 reproduces the standalone namespace).
+  /// Virtual time, RNG streams and statistics depend only on (machine,
+  /// seed, program), so a job's results are bit-identical to a standalone
+  /// one-shot run of the same configuration.
+  Engine(int num_pes, MachineParams machine, std::uint64_t seed,
+         EngineBackend backend, std::shared_ptr<EngineSubstrate> substrate,
+         std::uint64_t job_id);
+
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -149,8 +204,24 @@ class Engine {
 
   /// Runs `program` on all PEs and blocks until every PE finished. May be
   /// called repeatedly; clocks and stats reset between runs, and the fiber
-  /// pool (workers, stacks) is reused across runs.
+  /// pool (workers, stacks) is reused across runs. Equivalent to
+  /// start_run + FiberBatch::wait + finish_run (rethrowing the failure),
+  /// with inline/thread fallbacks for the non-fiber paths.
   void run(const std::function<void(Comm&)>& program);
+
+  /// Service path (fiber backend only): launches the run and returns
+  /// without waiting. `on_complete` fires exactly once, on the worker
+  /// thread that finishes the last PE, after which finish_run() must be
+  /// called (from any thread) to collect the run's outcome. The engine
+  /// must not be destroyed or re-run before finish_run returns.
+  void start_run(std::function<void(Comm&)> program,
+                 std::function<void()> on_complete);
+
+  /// Completes a start_run: blocks until the last PE finished (immediate
+  /// when called from on_complete or later), clears the run state, and
+  /// returns the abort reason if the run failed — the non-throwing
+  /// counterpart of run()'s NetworkError.
+  std::optional<std::string> finish_run();
 
   int num_pes() const { return num_pes_; }
   const MachineParams& machine() const { return machine_; }
@@ -175,19 +246,31 @@ class Engine {
   /// worker (one shard on the thread backend) so the warm acquire/release
   /// path does not serialise every PE on one global pool mutex.
   BufferPool& buffer_pool(int dest_pe) {
-    return shards_[static_cast<std::size_t>(dest_pe) % shards_.size()]
-        ->buffer_pool;
+    return substrate_
+        ->shard(static_cast<std::size_t>(dest_pe) %
+                static_cast<std::size_t>(substrate_->num_shards()))
+        .buffer_pool;
   }
 
   /// Recycled mailbox nodes for PE `dest_pe`'s mailbox (same sharding as
   /// buffer_pool; see MsgNodePool in mailbox.hpp).
   MsgNodePool& node_pool(int dest_pe) {
-    return shards_[static_cast<std::size_t>(dest_pe) % shards_.size()]
-        ->node_pool;
+    return substrate_
+        ->shard(static_cast<std::size_t>(dest_pe) %
+                static_cast<std::size_t>(substrate_->num_shards()))
+        .node_pool;
   }
 
   /// Number of mailbox slab/pool shards (1 on the thread backend).
-  int mailbox_shards() const { return static_cast<int>(shards_.size()); }
+  int mailbox_shards() const { return substrate_->num_shards(); }
+
+  /// Communicator id of this engine's world Comm: 1 for job_id 0 (the
+  /// standalone namespace every golden was recorded against), else a mixed
+  /// odd value unique per job. Sub-communicator ids deterministically chain
+  /// off the parent id, so the whole id space — and with it every mailbox
+  /// key and rendezvous cell — is disjoint between concurrent jobs. Comm
+  /// ids never enter the cost model, so virtual times are unaffected.
+  std::uint64_t world_comm_id() const;
 
   /// Shared member list of the world communicator — every world Comm
   /// aliases this one vector instead of materialising its own Θ(p) copy
@@ -221,26 +304,26 @@ class Engine {
                     std::span<const CountPair> out,
                     std::vector<CountPair>& in);
 
-  /// Aborts the current run with a per-run error: records the first `why`,
-  /// poisons every mailbox so blocked PEs unwind (RunAborted) instead of
-  /// waiting forever for a dead sender, and makes run() rethrow the reason
-  /// as a NetworkError after every PE has finished. Called by Comm when a
-  /// lossy NetworkModel exhausts its retry budget; safe from any PE.
+  /// Aborts the current run with a per-run error: records `why`, poisons
+  /// every mailbox so blocked PEs unwind (RunAborted) instead of waiting
+  /// forever for a dead sender, and makes run() rethrow the reason as a
+  /// NetworkError after every PE has finished. This overload is for
+  /// host-initiated aborts (a service cancelling a job); the first caller's
+  /// reason wins over any simulated failure.
   void abort_run(const std::string& why);
+
+  /// Simulated-failure abort, called by Comm when a lossy NetworkModel
+  /// exhausts its retry budget; safe from any PE. Concurrent failing PEs
+  /// race only in host time, so the latch keeps the reason with the
+  /// smallest (virtual failure time, pe) — the reported error does not
+  /// depend on worker count or backend when the racing failures are all
+  /// observed before the abort propagates (e.g. first-send exhaustion).
+  void abort_run(const std::string& why, double at_time, int pe);
 
   /// Aggregated results of the last run().
   RunReport report() const;
 
  private:
-  /// One mailbox shard: a node pool + payload buffer pool pair serving the
-  /// PEs with pe % mailbox_shards() == shard index. Splitting the slab/pool
-  /// state (each behind its own mutex) removes the single global pool lock
-  /// from the warm deposit→retrieve path.
-  struct MailboxShard {
-    MsgNodePool node_pool;
-    BufferPool buffer_pool;
-  };
-
   /// One rendezvous cell of the fast-forward board, keyed by communicator
   /// id (comm ids are deterministic, so cells persist across runs). Serves
   /// both barrier replay and count tallies — SPMD lockstep guarantees the
@@ -275,19 +358,41 @@ class Engine {
   void replay_barrier(const std::vector<int>& members,
                       std::vector<double>& arrivals);
 
+  /// Per-run reset of clocks/stats/abort state shared by run() and
+  /// start_run(); draws the run's congestion factor.
+  void prepare_run();
+  /// The per-PE body of a run: builds the world Comm and executes the
+  /// program, swallowing the RunAborted/NetworkError unwinds of an aborted
+  /// run so the backend's fiber/thread always finishes normally.
+  void run_pe(int pe, const std::function<void(Comm&)>& program);
+  /// prepare_run + execute-on-all-PEs + join, without the failure check —
+  /// the synchronous core of run() and of start_run's non-fiber fallback.
+  void run_sync(const std::function<void(Comm&)>& program);
+  /// Post-run failure check shared by run() and finish_run(): clears the
+  /// abort latch and returns the first abort reason, if any.
+  std::optional<std::string> collect_failure();
+
   int num_pes_;
   MachineParams machine_;
   std::uint64_t seed_;
   EngineBackend backend_;
+  std::uint64_t job_id_ = 0;
   bool coll_ff_ = true;
   double run_congestion_ = 1.0;
   std::uint64_t run_counter_ = 0;
   /// Declared before pes_ so mailboxes (which return nodes on teardown)
-  /// are destroyed while their shard's pool is still alive.
-  std::vector<std::unique_ptr<MailboxShard>> shards_;
+  /// are destroyed while their shard's pool is still alive. Private for a
+  /// standalone engine; shared across jobs under a SortService.
+  std::shared_ptr<EngineSubstrate> substrate_;
   std::shared_ptr<const std::vector<int>> world_members_;
   std::vector<std::unique_ptr<PeContext>> pes_;
-  std::unique_ptr<FiberPool> pool_;  ///< lazily created (fiber backend, p > 1)
+  FiberPool* pool_ = nullptr;  ///< substrate's pool (fiber backend, p > 1)
+  std::shared_ptr<FiberBatch> batch_;  ///< cached across runs (fiber backend)
+  /// The in-flight batch while a run is executing — the wake target for
+  /// deposit_message/rendezvous/abort paths. Null outside runs and on the
+  /// thread/inline backends (which use the cv protocol instead).
+  std::atomic<FiberBatch*> cur_batch_{nullptr};
+  std::function<void(Comm&)> run_program_;  ///< keeps start_run's program alive
   // --- fast-forward board ---------------------------------------------------
   std::mutex rv_mu_;
   std::unordered_map<std::uint64_t, std::unique_ptr<RendezvousCell>> rv_cells_;
@@ -296,7 +401,9 @@ class Engine {
   // --- abort state (lossy NetworkModel runs only) --------------------------
   std::atomic<bool> failed_{false};
   std::mutex fail_mu_;
-  std::string fail_msg_;        ///< first abort_run reason (under fail_mu_)
+  std::string fail_msg_;  ///< winning abort_run reason (under fail_mu_)
+  double fail_time_ = 0;  ///< virtual time of the winning failure
+  int fail_pe_ = -1;      ///< PE of the winning failure (-1: host abort)
   bool drain_needed_ = false;   ///< last run failed; drain mailboxes first
 };
 
@@ -304,5 +411,19 @@ class Engine {
 RunReport run_spmd(int num_pes, const MachineParams& machine,
                    std::uint64_t seed,
                    const std::function<void(Comm&)>& program);
+
+/// The backend `requested` resolves to on this host (kAuto → PMPS_ENGINE
+/// env var, else fibers where supported) — what Engine::backend() would
+/// report after construction.
+EngineBackend resolve_engine_backend(
+    EngineBackend requested = EngineBackend::kAuto);
+
+/// Fiber worker-thread count the engine would choose for `num_pes` PEs
+/// (PMPS_FIBER_WORKERS or the hardware concurrency, clamped to num_pes).
+/// A shared substrate sized for arbitrary jobs passes INT_MAX.
+int engine_fiber_workers(int num_pes);
+
+/// Per-fiber stack size (PMPS_FIBER_STACK_KB, default 256 KiB).
+std::size_t engine_fiber_stack_bytes();
 
 }  // namespace pmps::net

@@ -454,28 +454,50 @@ struct FiberPool::Fiber {
   StackPool::Stack* stack = nullptr;  ///< pooled stack; null until 1st resume
   std::atomic<int> state{kRunnable};
   bool finished = false;
-  bool prepared = false;   ///< context laid out on `stack` for this run
+  bool prepared = false;   ///< context laid out on `stack` for this launch
   bool long_wait = false;  ///< next park is a long-lived collective wait
   int index = -1;
   int home = 0;  ///< worker shard this fiber is pinned to (index % workers)
   FiberPool* pool = nullptr;
+  FiberBatch::State* batch = nullptr;  ///< owning batch (body, done counter)
+};
+
+/// Shared state of one batch: its fibers, the launch's body, and the
+/// completion accounting. Fibers of several batches coexist in the shard
+/// run queues; each fiber carries a pointer back here.
+struct FiberBatch::State {
+  FiberPool* pool = nullptr;
+  int n = 0;
+  std::vector<std::unique_ptr<FiberPool::Fiber>> fibers;
+
+  std::mutex mu;
+  std::condition_variable cv;  ///< wait(): finished == n
+  int finished = 0;
+  bool launched = false;  ///< a launch happened (finished/n meaningful)
+  std::function<void(int)> body;
+  std::function<void()> on_complete;  ///< moved out by the finishing worker
 };
 
 /// Fixed-capacity ring of runnable fibers. A fiber is enqueued at most
 /// once (the kRunnable state gate), so the queue never holds more than the
-/// run's fiber count; run() reserves that capacity up front and the hot
-/// push/pop path allocates nothing — a std::deque here allocated a fresh
-/// chunk every 64 enqueues in steady state, the last per-message heap cost
-/// of the scheduler.
+/// shard's live fiber count; launch() reserves that capacity up front and
+/// the hot push/pop path allocates nothing — a std::deque here allocated a
+/// fresh chunk every 64 enqueues in steady state, the last per-message heap
+/// cost of the scheduler.
 class RunQueue {
  public:
-  /// Ensures capacity for `n` queued fibers. Called between runs (queue
-  /// empty, no concurrent wakes).
+  /// Ensures capacity for `n` queued fibers, preserving queued entries
+  /// (a batch launch can land while another batch's fibers are queued).
+  /// Called under the shard lock.
   void reserve(std::size_t n) {
     if (ring_.size() >= n) return;
-    PMPS_CHECK(head_ == tail_);
+    std::vector<FiberPool::Fiber*> old = std::move(ring_);
     ring_.assign(next_pow2(n), nullptr);
-    head_ = tail_ = 0;
+    const std::uint64_t queued = tail_ - head_;
+    for (std::uint64_t i = 0; i < queued; ++i)
+      ring_[i] = old[(head_ + i) & (old.size() - 1)];
+    head_ = 0;
+    tail_ = queued;
   }
   bool empty() const { return head_ == tail_; }
   void push(FiberPool::Fiber* f) {
@@ -496,6 +518,7 @@ struct FiberPool::Shard {
   std::mutex mu;
   std::condition_variable cv;  ///< this worker: queue non-empty or stop
   RunQueue q;
+  std::size_t live = 0;  ///< unfinished fibers pinned here (queue capacity)
   bool stop = false;
 };
 
@@ -503,14 +526,6 @@ struct FiberPool::Impl {
   std::size_t stack_bytes;
   StackPool stack_pool;
   std::vector<std::unique_ptr<Shard>> shards;  ///< one per worker
-
-  std::mutex done_mu;
-  std::condition_variable done_cv;  ///< run(): all fibers of this run done
-  int run_n = 0;
-  int finished = 0;
-
-  const std::function<void(int)>* body = nullptr;
-  std::vector<std::unique_ptr<Fiber>> fibers;
   std::vector<std::thread> workers;
 
   explicit Impl(std::size_t sb) : stack_bytes(sb), stack_pool(sb) {}
@@ -568,8 +583,7 @@ void FiberPool::block_current() {
   f->ctx.suspend();
 }
 
-void FiberPool::wake(int index) {
-  Fiber* f = impl_->fibers[static_cast<std::size_t>(index)].get();
+void FiberPool::wake_fiber(Fiber* f) {
   Shard& home = *impl_->shards[static_cast<std::size_t>(f->home)];
   for (;;) {
     int s = f->state.load(std::memory_order_acquire);
@@ -604,7 +618,7 @@ void FiberPool::trampoline(void* arg) {
 
 void FiberPool::fiber_main(Fiber& f) {
   try {
-    (*impl_->body)(f.index);
+    f.batch->body(f.index);
   } catch (...) {
     // Same contract as an exception escaping a std::thread: die loudly.
     // Swallowing it instead would hang the run — SPMD peers blocked on this
@@ -653,12 +667,25 @@ void FiberPool::worker_main(int shard) {
       impl_->stack_pool.release(f->stack);
       f->stack = nullptr;
       f->prepared = false;
-      bool all_done = false;
       {
-        std::lock_guard lock(impl_->done_mu);
-        all_done = ++impl_->finished == impl_->run_n;
+        std::lock_guard lock(sh.mu);
+        --sh.live;
       }
-      if (all_done) impl_->done_cv.notify_all();
+      FiberBatch::State* b = f->batch;
+      std::function<void()> complete;
+      {
+        std::lock_guard lock(b->mu);
+        if (++b->finished == b->n) {
+          // Move the hook out before releasing anything: once wait()
+          // unblocks, the batch owner may destroy the batch, so the worker
+          // must only touch this local copy afterwards. notify under the
+          // lock for the same reason.
+          complete = std::move(b->on_complete);
+          b->on_complete = nullptr;
+          b->cv.notify_all();
+        }
+      }
+      if (complete) complete();
     } else {
 #if PMPS_FIBER_ASM_CTX
       impl_->stack_pool.note_touch(f->stack, f->ctx.sp);
@@ -686,26 +713,41 @@ void FiberPool::worker_main(int shard) {
   }
 }
 
-void FiberPool::run(int n, const std::function<void(int)>& body) {
+std::shared_ptr<FiberBatch> FiberPool::create_batch(int n) {
   PMPS_CHECK(n >= 1);
-  PMPS_CHECK_MSG(!in_fiber(), "FiberPool::run from inside a pool fiber");
-
-  // Grow the fiber set (small bookkeeping structs only — stacks are pooled
-  // and acquired lazily on each fiber's first resume).
-  while (impl_->fibers.size() < static_cast<std::size_t>(n)) {
+  auto batch = std::shared_ptr<FiberBatch>(new FiberBatch());
+  FiberBatch::State& st = *batch->st_;
+  st.pool = this;
+  st.n = n;
+  st.fibers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
     auto f = std::make_unique<Fiber>();
-    f->index = static_cast<int>(impl_->fibers.size());
-    f->home = f->index % num_workers_;
+    f->index = i;
+    f->home = i % num_workers_;
     f->pool = this;
-    impl_->fibers.push_back(std::move(f));
+    f->batch = &st;
+    st.fibers.push_back(std::move(f));
+  }
+  return batch;
+}
+
+void FiberPool::launch(FiberBatch& batch, std::function<void(int)> body,
+                       std::function<void()> on_complete) {
+  FiberBatch::State& st = *batch.st_;
+  PMPS_CHECK(st.pool == this);
+  {
+    std::lock_guard lock(st.mu);
+    PMPS_CHECK_MSG(!st.launched || st.finished == st.n,
+                   "FiberBatch launched while a launch is in flight");
+    st.launched = true;
+    st.finished = 0;
+    st.body = std::move(body);
+    st.on_complete = std::move(on_complete);
   }
 
-  impl_->body = &body;
-  impl_->run_n = n;
-  impl_->finished = 0;
-
-  for (int i = 0; i < n; ++i) {
-    Fiber* f = impl_->fibers[static_cast<std::size_t>(i)].get();
+  const auto n = static_cast<std::size_t>(st.n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Fiber* f = st.fibers[i].get();
     f->finished = false;
     f->prepared = false;
     f->long_wait = false;
@@ -715,23 +757,45 @@ void FiberPool::run(int n, const std::function<void(int)>& body) {
   const auto w = static_cast<std::size_t>(num_workers_);
   for (std::size_t s = 0; s < w; ++s) {
     Shard& sh = *impl_->shards[s];
-    const std::size_t mine = (static_cast<std::size_t>(n) + w - 1 - s) / w;
+    const std::size_t mine = (n + w - 1 - s) / w;
     if (mine == 0) continue;
     {
       std::lock_guard lock(sh.mu);
-      sh.q.reserve(mine);
-      for (std::size_t i = s; i < static_cast<std::size_t>(n); i += w)
-        sh.q.push(impl_->fibers[i].get());
+      sh.live += mine;
+      sh.q.reserve(sh.live);
+      for (std::size_t i = s; i < n; i += w) sh.q.push(st.fibers[i].get());
     }
     sh.cv.notify_one();
   }
-
-  {
-    std::unique_lock lock(impl_->done_mu);
-    impl_->done_cv.wait(lock, [this] { return impl_->finished == impl_->run_n; });
-  }
-  impl_->body = nullptr;
 }
+
+void FiberPool::run(int n, const std::function<void(int)>& body) {
+  PMPS_CHECK_MSG(!in_fiber(), "FiberPool::run from inside a pool fiber");
+  auto batch = create_batch(n);
+  launch(*batch, body);
+  batch->wait();
+}
+
+FiberBatch::FiberBatch() : st_(std::make_unique<State>()) {}
+
+FiberBatch::~FiberBatch() = default;
+
+void FiberBatch::wake(int index) {
+  st_->pool->wake_fiber(st_->fibers[static_cast<std::size_t>(index)].get());
+}
+
+void FiberBatch::wait() {
+  std::unique_lock lock(st_->mu);
+  st_->cv.wait(lock,
+               [this] { return !st_->launched || st_->finished == st_->n; });
+}
+
+bool FiberBatch::done() const {
+  std::lock_guard lock(st_->mu);
+  return !st_->launched || st_->finished == st_->n;
+}
+
+int FiberBatch::size() const { return st_->n; }
 
 }  // namespace pmps::net
 

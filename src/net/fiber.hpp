@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 // Fibers are available where we have a hand-rolled context switch (ELF
 // x86-64 / AArch64) or a usable <ucontext.h> (other unices — but not macOS,
@@ -60,9 +61,47 @@ struct FiberStackStats {
 
 #if PMPS_HAS_FIBERS
 
+class FiberPool;
+
+/// One batch of fibers scheduled on a FiberPool: the unit of an SPMD run.
+/// A standalone engine keeps a single cached batch and relaunches it per
+/// run; the sort service launches one batch per admitted job, so several
+/// independent jobs interleave on the same warm worker pool. Fiber indices
+/// are batch-local (PE ids), so concurrent batches never alias each other's
+/// wakes. Create with FiberPool::create_batch, start with FiberPool::launch.
+class FiberBatch {
+ public:
+  ~FiberBatch();
+  FiberBatch(const FiberBatch&) = delete;
+  FiberBatch& operator=(const FiberBatch&) = delete;
+
+  /// Makes fiber `index` of this batch runnable again. Must pair with a
+  /// prepare_block()/block_current() on that fiber; called by the message
+  /// depositor after consuming the wait registration.
+  void wake(int index);
+
+  /// Blocks the calling thread until every fiber of the current launch has
+  /// finished. Returns immediately when the batch was never launched or has
+  /// already completed.
+  void wait();
+
+  /// True when no launch is in flight (all fibers finished).
+  bool done() const;
+
+  int size() const;
+
+ private:
+  friend class FiberPool;
+  FiberBatch();
+  struct State;  ///< implementation detail (fiber.cpp)
+  std::unique_ptr<State> st_;
+};
+
 /// Fixed pool of worker threads executing cooperatively scheduled stackful
 /// fibers — the engine's default backend (PMPS_ENGINE=fibers). One pool
-/// per Engine; run() maps each simulated PE onto one fiber.
+/// per EngineSubstrate; a standalone engine maps each simulated PE onto one
+/// fiber of a single batch, while a SortService launches one batch per job
+/// and lets the worker pool interleave them.
 ///
 /// Stacks come from a shared *stack pool* instead of one mmap per fiber: a
 /// fiber acquires a stack on its first resume and returns it when it exits,
@@ -91,11 +130,27 @@ class FiberPool {
   FiberPool& operator=(const FiberPool&) = delete;
 
   /// Runs `body(i)` for i in [0, n) as n cooperatively scheduled fibers and
-  /// blocks until all of them finish. Fibers and stacks are reused across
-  /// calls. An exception escaping any body terminates the process (the
-  /// std::thread contract; peers blocked on the dead PE could never finish
-  /// anyway). Must not be called from inside one of this pool's fibers.
+  /// blocks until all of them finish. Convenience wrapper over
+  /// create_batch + launch + wait for one-shot callers. An exception
+  /// escaping any body terminates the process (the std::thread contract;
+  /// peers blocked on the dead PE could never finish anyway). Must not be
+  /// called from inside one of this pool's fibers.
   void run(int n, const std::function<void(int)>& body);
+
+  /// Creates an idle batch of `n` fibers bound to this pool. The batch is
+  /// reusable: launch it as many times as needed (each launch resets the
+  /// fibers). Keep the shared_ptr alive until the final launch completed.
+  std::shared_ptr<FiberBatch> create_batch(int n);
+
+  /// Starts a launch of `batch`: every fiber becomes runnable with
+  /// `body(i)` and the call returns immediately. The batch must be idle
+  /// (never launched, or the previous launch fully finished). If
+  /// `on_complete` is non-empty it is invoked exactly once, on the worker
+  /// thread that finishes the batch's last fiber, after FiberBatch::wait
+  /// would unblock — the service's job-completion hook. `on_complete` may
+  /// launch other batches but must not wait on this pool's fibers.
+  void launch(FiberBatch& batch, std::function<void(int)> body,
+              std::function<void()> on_complete = {});
 
   /// True when the calling code is executing on a pool fiber.
   static bool in_fiber();
@@ -112,11 +167,6 @@ class FiberPool {
   /// for this fiber has been issued.
   static void block_current();
 
-  /// Makes fiber `index` (of the current run()) runnable again. Must pair
-  /// with a prepare_block()/block_current() on that fiber; called by the
-  /// message depositor after consuming the wait registration.
-  void wake(int index);
-
   /// Worker-thread count the pool was built with (PMPS_FIBER_WORKERS or
   /// the hardware concurrency).
   int num_workers() const { return num_workers_; }
@@ -132,11 +182,13 @@ class FiberPool {
   struct Fiber;  ///< implementation detail (fiber.cpp); opaque to callers
 
  private:
+  friend class FiberBatch;
   struct Impl;
   struct Shard;
 
   void worker_main(int shard);
   void fiber_main(Fiber& f);
+  void wake_fiber(Fiber* f);
   static void trampoline(void* arg);
 
   int num_workers_;
@@ -145,16 +197,28 @@ class FiberPool {
 
 #else  // !PMPS_HAS_FIBERS
 
-/// Stub so engine code compiles; never instantiated (fibers_supported()
+/// Stubs so engine code compiles; never instantiated (fibers_supported()
 /// returns false and the engine selects the thread backend).
+class FiberBatch {
+ public:
+  void wake(int) {}
+  void wait() {}
+  bool done() const { return true; }
+  int size() const { return 0; }
+};
+
 class FiberPool {
  public:
   FiberPool(int, std::size_t) {}
   void run(int, const std::function<void(int)>&) {}
+  std::shared_ptr<FiberBatch> create_batch(int) {
+    return std::make_shared<FiberBatch>();
+  }
+  void launch(FiberBatch&, std::function<void(int)>,
+              std::function<void()> = {}) {}
   static bool in_fiber() { return false; }
   static void prepare_block(bool = false) {}
   static void block_current() {}
-  void wake(int) {}
   int num_workers() const { return 0; }
   FiberStackStats stack_stats() const { return {}; }
   static bool reclaim_supported() { return false; }

@@ -1,0 +1,110 @@
+// Sort-as-a-service job types: what a client submits (JobSpec), the state
+// machine a submitted job walks through, and the handle it gets back.
+//
+// A job is one SPMD program run on its own engine: its own PE count,
+// MachineParams/NetworkModel, seed, virtual clocks, RNG streams and
+// statistics. Only the host-side substrate (fiber workers, pooled stacks,
+// mailbox node/payload pools) is shared between jobs — see
+// net::EngineSubstrate — so a job's simulated results are bit-identical to
+// a standalone one-shot Engine::run of the same configuration, no matter
+// what ran before it or concurrently with it.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/engine.hpp"
+#include "net/machine.hpp"
+#include "net/stats.hpp"
+
+namespace pmps::svc {
+
+/// Everything that defines a job's simulated run. The program must be
+/// self-contained (own its state via shared_ptr captures, by-value
+/// captures, or per-rank locals): it outlives the submit call and runs on
+/// service threads.
+struct JobSpec {
+  int num_pes = 1;
+  net::MachineParams machine;  ///< includes the job's NetworkModel, if any
+  std::uint64_t seed = 1;
+  std::function<void(net::Comm&)> program;
+  std::string name;  ///< optional label for logs/benches
+};
+
+/// kQueued → kRunning → one of the three terminal states.
+enum class JobState : int {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,       ///< run completed cleanly
+  kFailed = 3,     ///< run aborted itself (NetworkModel retry exhaustion)
+  kCancelled = 4,  ///< JobHandle::abort or service shutdown
+};
+
+inline bool job_state_terminal(JobState s) { return s >= JobState::kDone; }
+
+/// Outcome of a finished job. `report` is the job's own RunReport (virtual
+/// wall time, phase maxima, fault totals); its EngineStats fields snapshot
+/// the shared substrate, not the job (pools are warm by design).
+struct JobResult {
+  JobState state = JobState::kQueued;
+  std::string error;  ///< abort reason (kFailed / kCancelled)
+  net::RunReport report;
+};
+
+namespace detail {
+
+/// Per-job isolation bundle: the job's own engine (clocks, RNGs, mailboxes,
+/// rendezvous board) plus its state machine. Guarded by `mu` — the service
+/// and the client's JobHandle both go through it; the engine pointer is
+/// only non-null between admission and finalisation.
+struct JobContext {
+  std::uint64_t id = 0;  ///< 1-based; folded into the engine's Comm namespace
+  JobSpec spec;
+
+  std::mutex mu;
+  std::condition_variable cv;  ///< signalled on reaching a terminal state
+  JobState state = JobState::kQueued;
+  bool abort_requested = false;
+  std::string error;
+  std::unique_ptr<net::Engine> engine;
+  net::RunReport report;
+};
+
+}  // namespace detail
+
+/// Client-side handle to a submitted job: shares ownership of the job
+/// context, so it stays valid after the job finished (and after the
+/// service was destroyed). Copyable; all methods are thread-safe.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  std::uint64_t id() const;
+  JobState state() const;
+
+  /// Requests cancellation: a queued job is dropped at its admission point;
+  /// a running job has its run aborted (its own mailboxes poisoned, its own
+  /// fibers unwound — sibling jobs are untouched). No-op once terminal.
+  /// On the synchronous fallback path (thread backend, single-PE jobs) a
+  /// running job cannot be interrupted; the abort then only prevents
+  /// admission of the job if it is still queued.
+  void abort();
+
+  /// Blocks until the job reaches a terminal state and returns its outcome.
+  JobResult wait();
+
+ private:
+  friend class SortService;
+  explicit JobHandle(std::shared_ptr<detail::JobContext> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<detail::JobContext> job_;
+};
+
+}  // namespace pmps::svc

@@ -1,0 +1,46 @@
+// Bounded FIFO admission queue of the sort service. Deliberately *not*
+// internally synchronised: SortService owns it and guards every access
+// with its service mutex, which also covers the in-flight accounting the
+// admission decisions read — a queue-local lock would just be a second
+// lock on the same path.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+
+#include "common/check.hpp"
+#include "svc/job.hpp"
+
+namespace pmps::svc {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {
+    PMPS_CHECK(capacity >= 1);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= capacity_; }
+
+  void push(std::shared_ptr<detail::JobContext> job) {
+    PMPS_CHECK_MSG(!full(), "JobQueue overflow");
+    q_.push_back(std::move(job));
+  }
+
+  std::shared_ptr<detail::JobContext> pop() {
+    PMPS_CHECK_MSG(!empty(), "JobQueue underflow");
+    auto job = std::move(q_.front());
+    q_.pop_front();
+    return job;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::shared_ptr<detail::JobContext>> q_;
+};
+
+}  // namespace pmps::svc
