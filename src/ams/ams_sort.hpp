@@ -27,6 +27,8 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "ams/level_config.hpp"
@@ -77,11 +79,32 @@ struct AmsStats {
 
 namespace detail {
 
+// One AMS level. The PE's current partition lives in exactly one of two
+// places: `data` (in-memory mode) or `*store` (spilled mode — content is
+// the runs concatenated, established by the previous level's delivery).
+// The mode is re-decided per level from the budget: a partition that
+// shrank below the budget is read back once and continues in memory; one
+// that exceeds it is classified with the streaming two-pass (count then
+// scatter) over its blocks and delivered straight from the store, so a
+// spilled level never materialises the full partition (docs/EM.md). Both
+// modes draw the same samples, classify with the same tags, charge the
+// same virtual time and send byte-identical messages — only host-side
+// storage differs.
 template <typename T, typename Less>
-void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
+void ams_level(Comm& comm, std::vector<T>& data,
+               std::unique_ptr<em::RunStore<T>>& store, const AmsConfig& cfg,
                const std::vector<int>& rs, std::size_t level, Less less,
                AmsStats* stats) {
   const auto& machine = comm.machine();
+
+  const std::int64_t n_local =
+      store ? store->total() : static_cast<std::int64_t>(data.size());
+  const bool spill =
+      cfg.budget.should_spill(n_local * static_cast<std::int64_t>(sizeof(T)));
+  if (store && !spill) {
+    data = store->take_all();
+    store.reset();
+  }
 
   if (comm.size() == 1 || level >= rs.size()) {
     // Base case: sequential sort of the local data. Over budget it runs as
@@ -89,8 +112,12 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
     // charge (spilling is host-side storage only, docs/EM.md).
     coll::barrier(comm);
     comm.set_phase(Phase::kLocalSort);
-    const std::int64_t n_local = static_cast<std::int64_t>(data.size());
-    em::local_sort_or_spill(data, cfg.budget, less);
+    if (store) {
+      data = em::external_sort_store(*store, cfg.budget, less);
+      store.reset();
+    } else {
+      em::local_sort_or_spill(data, cfg.budget, less);
+    }
     comm.charge(machine.sort_cost(n_local));
     comm.set_phase(Phase::kOther);
     return;
@@ -104,8 +131,7 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   coll::barrier(comm);
   comm.set_phase(Phase::kSplitterSelection);
 
-  const std::int64_t n_total = coll::allreduce_add_one(
-      comm, static_cast<std::int64_t>(data.size()));
+  const std::int64_t n_total = coll::allreduce_add_one(comm, n_local);
   const int b = std::max(1, cfg.overpartition_b);
   const double a =
       cfg.oversampling_a > 0
@@ -123,15 +149,14 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   // This PE's share of the sample, drawn uniformly from the local data
   // (with replacement; the local shares follow the PE's data share).
   std::vector<std::int64_t> share{0};
-  if (!data.empty()) {
+  if (n_local > 0) {
     // Proportional allocation via a deterministic split of sample_total by
     // cumulative data sizes: PE gets chunk proportional to its local count.
-    const std::int64_t my_begin = coll::exscan_add_one(
-        comm, static_cast<std::int64_t>(data.size()));
+    const std::int64_t my_begin = coll::exscan_add_one(comm, n_local);
     const std::int64_t lo =
         my_begin * sample_total / std::max<std::int64_t>(n_total, 1);
     const std::int64_t hi =
-        (my_begin + static_cast<std::int64_t>(data.size())) * sample_total /
+        (my_begin + n_local) * sample_total /
         std::max<std::int64_t>(n_total, 1);
     share[0] = hi - lo;
   } else {
@@ -140,8 +165,11 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   std::vector<T> sample;
   sample.reserve(static_cast<std::size_t>(share[0]));
   for (std::int64_t i = 0; i < share[0]; ++i) {
-    sample.push_back(
-        data[static_cast<std::size_t>(comm.rng().bounded(data.size()))]);
+    // Same rng stream, same positions in both modes — a spilled partition's
+    // content order is exactly the in-memory concatenation order.
+    const auto pos = comm.rng().bounded(static_cast<std::uint64_t>(n_local));
+    sample.push_back(store ? store->read_element(static_cast<std::int64_t>(pos))
+                           : data[static_cast<std::size_t>(pos)]);
   }
   comm.charge(machine.copy_cost(sample.size() * sizeof(T)));
 
@@ -168,21 +196,77 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   coll::barrier(comm);
   comm.set_phase(Phase::kBucketProcessing);
 
-  seq::PartitionResult<T> part;
+  seq::PartitionResult<T> part;                 // in-memory mode
+  std::unique_ptr<em::RunStore<T>> part_store;  // spilled mode
+  std::vector<std::int64_t> bucket_sizes;
   if (!splitters.empty()) {
     seq::BucketClassifier<T, Less> classifier(std::move(splitters), less);
-    part = seq::partition_into_buckets(
-        std::span<const T>(data.data(), data.size()), comm.rank(), classifier);
-    comm.charge(machine.partition_cost(static_cast<std::int64_t>(data.size()),
-                                       num_buckets));
+    if (!spill) {
+      part = seq::partition_into_buckets(
+          std::span<const T>(data.data(), data.size()), comm.rank(),
+          classifier);
+      bucket_sizes = part.sizes;
+    } else {
+      // Streaming two-pass classification over the partition's blocks
+      // (docs/EM.md): pass 1 counts elements per bucket, pass 2 re-reads
+      // and scatters each element into its bucket's run — one RunWriter
+      // (one block buffer) per bucket, runs created in bucket order, so
+      // the partition store's content is the exact bucket-major stable
+      // order partition_into_buckets produces. Peak memory: one source
+      // block plus num_buckets writer blocks, never the full partition.
+      bucket_sizes.assign(static_cast<std::size_t>(num_buckets), 0);
+      const std::span<const T> vec(data.data(), data.size());
+      auto each_block = [&](auto&& emit) {
+        if (!store) {
+          seq::classify_block(vec, comm.rank(), 0, classifier, emit);
+          return;
+        }
+        std::vector<T> buf = store->acquire_buffer();
+        const std::int64_t epb = store->elems_per_block();
+        for (std::int64_t off = 0; off < n_local; off += epb) {
+          const std::int64_t len = std::min(epb, n_local - off);
+          std::span<T> chunk(buf.data(), static_cast<std::size_t>(len));
+          store->read_range(off, chunk);
+          seq::classify_block(std::span<const T>(chunk), comm.rank(), off,
+                              classifier, emit);
+        }
+        store->release_buffer(std::move(buf));
+      };
+      each_block([&](std::int32_t b, const T&) {
+        ++bucket_sizes[static_cast<std::size_t>(b)];
+      });
+      part_store = std::make_unique<em::RunStore<T>>(cfg.budget);
+      {
+        std::vector<em::RunWriter<T>> writers;
+        writers.reserve(static_cast<std::size_t>(num_buckets));
+        for (std::int64_t bkt = 0; bkt < num_buckets; ++bkt)
+          writers.emplace_back(*part_store);
+        each_block([&](std::int32_t b, const T& v) {
+          writers[static_cast<std::size_t>(b)].push(v);
+        });
+        for (auto& w : writers) w.finish();
+      }
+      if (store) store.reset();
+      else std::vector<T>().swap(data);
+    }
+    comm.charge(machine.partition_cost(n_local, num_buckets));
   } else {
     // Degenerate single bucket (empty or tiny input).
-    part.elements = data;
-    part.sizes = {static_cast<std::int64_t>(data.size())};
-    part.offsets = {0};
+    bucket_sizes = {n_local};
+    if (!spill) {
+      part.elements = data;
+      part.sizes = bucket_sizes;
+      part.offsets = {0};
+    } else if (store) {
+      part_store = std::move(store);  // identity partition
+    } else {
+      part_store = std::make_unique<em::RunStore<T>>(cfg.budget);
+      part_store->append_run(std::span<const T>(data.data(), data.size()));
+      std::vector<T>().swap(data);
+    }
   }
 
-  const auto global_buckets = coll::allreduce_add(comm, part.sizes);
+  const auto global_buckets = coll::allreduce_add(comm, bucket_sizes);
   grouping::GroupingResult grouping =
       cfg.parallel_grouping
           ? grouping::group_buckets_parallel(
@@ -212,24 +296,35 @@ void ams_level(Comm& comm, std::vector<T>& data, const AmsConfig& cfg,
   std::vector<std::int64_t> piece_sizes(static_cast<std::size_t>(r), 0);
   for (std::int64_t bkt = 0; bkt < num_buckets; ++bkt) {
     piece_sizes[static_cast<std::size_t>(grouping.group_of(bkt))] +=
-        part.sizes[static_cast<std::size_t>(bkt)];
+        bucket_sizes[static_cast<std::size_t>(bkt)];
   }
 
   // --- phase 3: data delivery ----------------------------------------------
   coll::barrier(comm);
   comm.set_phase(Phase::kDataDelivery);
-  // Over budget, incoming pieces land in run blocks instead of one
-  // in-memory FlatParts buffer (the pre-partition copy is released first,
-  // dropping the phase peak from ~3× to ~2× the local data); either way
-  // `data` becomes the received runs, concatenated.
-  std::vector<T>().swap(data);
-  data = delivery::deliver_flat(comm, part.elements, piece_sizes,
-                                cfg.delivery, cfg.seed + level, cfg.budget);
+  if (!spill) {
+    // `data` becomes the received runs, concatenated (the pre-partition
+    // copy is released first, dropping the phase peak from ~3× to ~2× the
+    // local data).
+    std::vector<T>().swap(data);
+    data = delivery::deliver_flat(comm, part.elements, piece_sizes,
+                                  cfg.delivery, cfg.seed + level, cfg.budget);
+  } else {
+    // Spill-to-spill: the plan is materialised block-by-block from the
+    // partition store and incoming pieces land as runs of the next level's
+    // store — identical placements, identical messages, identical virtual
+    // time; the partition is never resident in full.
+    auto next = std::make_unique<em::RunStore<T>>(cfg.budget);
+    delivery::deliver_store_into(comm, *part_store, piece_sizes, cfg.delivery,
+                                 cfg.seed + level, em::run_sink(*next));
+    part_store.reset();
+    store = std::move(next);
+  }
   comm.set_phase(Phase::kOther);
 
   // --- recurse --------------------------------------------------------------
   Comm sub = comm.split_consecutive(r);
-  ams_level(sub, data, cfg, rs, level + 1, less, stats);
+  ams_level(sub, data, store, cfg, rs, level + 1, less, stats);
 }
 
 }  // namespace detail
@@ -249,7 +344,9 @@ AmsStats ams_sort(Comm& comm, std::vector<T>& data, const AmsConfig& cfg = {},
   std::int64_t prod = 1;
   for (int r : rs) prod *= r;
   PMPS_CHECK_MSG(prod == comm.size(), "group counts must multiply to p");
-  detail::ams_level(comm, data, cfg, rs, 0, less, &stats);
+  std::unique_ptr<em::RunStore<T>> store;  // spilled-partition carrier
+  detail::ams_level(comm, data, store, cfg, rs, 0, less, &stats);
+  PMPS_ASSERT(store == nullptr);  // base case always materialises the output
   return stats;
 }
 

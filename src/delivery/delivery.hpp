@@ -33,6 +33,19 @@
 //                     ranges and ship data directly. With high probability
 //                     ≤ 1 + 2r(1+1/a) received messages per PE.
 //
+// Every algorithm is split into a *placer* and a *materialiser*. The placer
+// (place_simple / place_deterministic / place_advanced) runs all of the
+// algorithm's control communication — prefix sums, descriptor exchanges,
+// delegations — and returns the outgoing data messages as a list of
+// Placements: (dest, offset, len) fragments of the local partition's
+// *content*, in emission order. Placers never touch elements, so they are
+// non-template code shared by every element type AND every storage mode.
+// The materialiser turns placements into one coll::SendPlan either from an
+// in-memory span (plan_delivery) or block-by-block from a spilled
+// em::RunStore (plan_delivery_from_store) — the same placements, sliced in
+// the same order, produce byte-identical plans, which is what makes the
+// spilled AMS classification path bit-identical to the in-memory one.
+//
 // All variants ship payloads with coll::sparse_exchange, so their startup
 // guarantees are directly observable in the simulator's message statistics
 // (tests assert them).
@@ -86,6 +99,17 @@ inline const char* algo_name(Algo a) {
   return "?";
 }
 
+/// One outgoing data fragment, produced by a placer: `len` elements
+/// starting at content offset `offset` of the local partition (pieces
+/// concatenated in group order), shipped to rank `dest`. Placements are
+/// emitted in send order — materialising them in sequence reproduces the
+/// exact piece sequence (and thus message sequence) of the algorithm.
+struct Placement {
+  std::int32_t dest;
+  std::int64_t offset;
+  std::int64_t len;
+};
+
 namespace detail {
 
 /// Chunk index of position `pos` when [0, m) is split into `parts` chunks
@@ -101,17 +125,14 @@ inline std::int64_t chunk_of(std::int64_t m, std::int64_t parts,
   return rem + (pos - big_span) / base;
 }
 
-/// Emits sends for one contiguous piece occupying positions
-/// [pos, pos + len) of group g's stream of m elements, split across the
-/// group's p_prime receivers by chunk boundaries. Each chunk becomes one
-/// plan piece, written straight into the plan's flat buffer (no per-piece
-/// vector).
-template <typename T>
-void emit_piece(std::span<const T> piece, int group, std::int64_t pos,
-                std::int64_t m, std::int64_t p_prime,
-                coll::SendPlan<T>& out) {
+/// Emits placements for one contiguous fragment of local content
+/// ([base, base + len)) occupying positions [pos, pos + len) of group g's
+/// stream of m elements, split across the group's p_prime receivers by
+/// chunk boundaries. Each chunk becomes one placement (= one plan piece).
+inline void emit_piece(std::int64_t base, std::int64_t len, int group,
+                       std::int64_t pos, std::int64_t m, std::int64_t p_prime,
+                       std::vector<Placement>& out) {
   std::int64_t done = 0;
-  const auto len = static_cast<std::int64_t>(piece.size());
   while (done < len) {
     const std::int64_t q = chunk_of(m, p_prime, pos + done);
     const std::int64_t q_end = chunk_begin(m, p_prime, q + 1);
@@ -119,8 +140,7 @@ void emit_piece(std::span<const T> piece, int group, std::int64_t pos,
     PMPS_ASSERT(take > 0);
     const int dest =
         group * static_cast<int>(p_prime) + static_cast<int>(q);
-    out.add(dest, piece.subspan(static_cast<std::size_t>(done),
-                                static_cast<std::size_t>(take)));
+    out.push_back(Placement{dest, base + done, take});
     done += take;
   }
 }
@@ -135,28 +155,6 @@ inline std::vector<std::int64_t> local_offsets(
 
 }  // namespace detail
 
-/// Common entry: `data` holds r consecutive pieces of sizes `piece_sizes`
-/// (piece g destined for group g); requires size() % r == 0. Returns the
-/// received runs as one FlatParts buffer — part i is a contiguous fragment
-/// of some sender's piece (if the sender's data was sorted, each run is
-/// sorted); take_flat() hands the concatenation over without a copy.
-template <typename T>
-coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
-                           const std::vector<std::int64_t>& piece_sizes,
-                           Algo algo, std::uint64_t seed = 1);
-
-// Every algorithm below is a *planner*: it runs the algorithm's control
-// communication (prefix sums, descriptor exchanges, delegations) and
-// returns the outgoing data messages as one coll::SendPlan — a flat
-// element buffer plus (dest, offset) piece descriptors, the send-side
-// mirror of FlatParts. Planners write pieces directly into the flat
-// buffer, so planning costs O(1) allocations instead of one heap vector
-// per piece (docs/DESIGN.md §9). deliver() ships the plan with
-// coll::sparse_exchange; deliver_into() ships the identical messages but
-// lands every received piece in a caller-provided sink (the out-of-core
-// path stores them as run blocks, src/em) — same message sequence, same
-// virtual time, different host-side storage.
-
 // ---------------------------------------------------------------------------
 // simple & randomized
 // ---------------------------------------------------------------------------
@@ -165,11 +163,9 @@ coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
 /// (in PE order or in a Feistel-permuted sender order) places every element
 /// at a global position in its group's stream; chunk boundaries map
 /// positions to receivers. O(2r) sends per PE.
-template <typename T>
-coll::SendPlan<T> plan_simple_impl(
-    Comm& comm, std::span<const T> data,
-    const std::vector<std::int64_t>& piece_sizes, bool permute_senders,
-    std::uint64_t seed) {
+inline std::vector<Placement> place_simple(
+    Comm& comm, const std::vector<std::int64_t>& piece_sizes,
+    bool permute_senders, std::uint64_t seed) {
   const int p = comm.size();
   const int r = static_cast<int>(piece_sizes.size());
   PMPS_CHECK(r >= 1 && p % r == 0);
@@ -190,15 +186,13 @@ coll::SendPlan<T> plan_simple_impl(
   const auto m = coll::allreduce_add(comm, piece_sizes);
 
   const auto loc = detail::local_offsets(piece_sizes);
-  coll::SendPlan<T> out;
+  std::vector<Placement> out;
   for (int g = 0; g < r; ++g) {
     if (piece_sizes[static_cast<std::size_t>(g)] == 0) continue;
-    detail::emit_piece(
-        data.subspan(static_cast<std::size_t>(loc[static_cast<std::size_t>(g)]),
-                     static_cast<std::size_t>(
-                         piece_sizes[static_cast<std::size_t>(g)])),
-        g, off[static_cast<std::size_t>(g)], m[static_cast<std::size_t>(g)],
-        p_prime, out);
+    detail::emit_piece(loc[static_cast<std::size_t>(g)],
+                       piece_sizes[static_cast<std::size_t>(g)], g,
+                       off[static_cast<std::size_t>(g)],
+                       m[static_cast<std::size_t>(g)], p_prime, out);
   }
 
   return out;
@@ -229,10 +223,8 @@ struct FragmentAssign {
 /// kDeterministic (§4.3.1): small pieces (≤ n/2pr) are assigned whole,
 /// ≤ r per receiver; large pieces fill the residual capacities. Every
 /// receiver gets O(r) messages regardless of the piece-size distribution.
-template <typename T>
-coll::SendPlan<T> plan_deterministic(
-    Comm& comm, std::span<const T> data,
-    const std::vector<std::int64_t>& piece_sizes) {
+inline std::vector<Placement> place_deterministic(
+    Comm& comm, const std::vector<std::int64_t>& piece_sizes) {
   using detail::PieceDesc;
   const int p = comm.size();
   const int r = static_cast<int>(piece_sizes.size());
@@ -364,14 +356,14 @@ coll::SendPlan<T> plan_deterministic(
   }
   auto replies = coll::sparse_exchange(comm, reply_out);
 
-  // Ship the data: each assigned fragment is one plan piece, sliced
-  // straight out of the local data span.
+  // Ship the data: each assigned fragment is one placement, sliced out of
+  // the local partition content at materialisation time.
   const auto loc = detail::local_offsets(piece_sizes);
-  coll::SendPlan<T> out;
+  std::vector<Placement> out;
   for (const auto& f : replies.parts.flat()) {
-    const auto base = static_cast<std::size_t>(
-        loc[static_cast<std::size_t>(f.group)] + f.piece_offset);
-    out.add(f.dest, data.subspan(base, static_cast<std::size_t>(f.len)));
+    out.push_back(Placement{
+        f.dest, loc[static_cast<std::size_t>(f.group)] + f.piece_offset,
+        f.len});
   }
   return out;
 }
@@ -402,10 +394,9 @@ struct RangeReply {
 /// threshold are chopped and delegated to pseudorandomly chosen proxies so
 /// that whp no receiver sees more than O(r) messages, without the barrier
 /// structure of the deterministic scheme.
-template <typename T>
-coll::SendPlan<T> plan_advanced(
-    Comm& comm, std::span<const T> data,
-    const std::vector<std::int64_t>& piece_sizes, std::uint64_t seed) {
+inline std::vector<Placement> place_advanced(
+    Comm& comm, const std::vector<std::int64_t>& piece_sizes,
+    std::uint64_t seed) {
   using detail::Delegation;
   using detail::RangeReply;
   const int p = comm.size();
@@ -508,12 +499,10 @@ coll::SendPlan<T> plan_advanced(
 
   // Ship data: own small fragments plus replied large fragments.
   const auto loc = detail::local_offsets(piece_sizes);
-  coll::SendPlan<T> out;
+  std::vector<Placement> out;
   auto emit = [&](const RangeReply& rr) {
-    const auto base = static_cast<std::size_t>(
-        loc[static_cast<std::size_t>(rr.group)] + rr.piece_offset);
     detail::emit_piece(
-        std::span<const T>(data.data() + base, static_cast<std::size_t>(rr.size)),
+        loc[static_cast<std::size_t>(rr.group)] + rr.piece_offset, rr.size,
         rr.group, rr.position, m[static_cast<std::size_t>(rr.group)], p_prime,
         out);
   };
@@ -524,12 +513,37 @@ coll::SendPlan<T> plan_advanced(
 }
 
 // ---------------------------------------------------------------------------
-// dispatcher
+// dispatcher & materialisers
 // ---------------------------------------------------------------------------
 
 /// Runs the chosen algorithm's planning communication and returns the
-/// outgoing data messages as one flat SendPlan (collective; every PE must
-/// call it).
+/// outgoing data messages as placements in send order (collective; every
+/// PE must call it). Element-type-independent: all four algorithms'
+/// control plane only ever looks at piece *sizes*.
+inline std::vector<Placement> place_delivery(
+    Comm& comm, const std::vector<std::int64_t>& piece_sizes, Algo algo,
+    std::uint64_t seed) {
+  switch (algo) {
+    case Algo::kSimple:
+      return place_simple(comm, piece_sizes, false, seed);
+    case Algo::kRandomized:
+      return place_simple(comm, piece_sizes, true, seed);
+    case Algo::kDeterministic:
+      return place_deterministic(comm, piece_sizes);
+    case Algo::kAdvancedRandomized:
+      return place_advanced(comm, piece_sizes, seed);
+  }
+  PMPS_CHECK(false);
+  return {};
+}
+
+/// Materialises placements from an in-memory partition: `data` holds r
+/// consecutive pieces of sizes `piece_sizes` (piece g destined for group
+/// g). Returns the outgoing messages as one flat SendPlan — a flat element
+/// buffer plus (dest, offset) piece descriptors, the send-side mirror of
+/// FlatParts. Pieces are written straight into the flat buffer, so
+/// planning costs O(1) allocations instead of one heap vector per piece
+/// (docs/DESIGN.md §9).
 template <typename T>
 coll::SendPlan<T> plan_delivery(
     Comm& comm, std::span<const T> data,
@@ -538,24 +552,52 @@ coll::SendPlan<T> plan_delivery(
   std::int64_t sum = 0;
   for (auto v : piece_sizes) sum += v;
   PMPS_CHECK(sum == static_cast<std::int64_t>(data.size()));
-  switch (algo) {
-    case Algo::kSimple:
-      return plan_simple_impl(comm, data, piece_sizes, false, seed);
-    case Algo::kRandomized:
-      return plan_simple_impl(comm, data, piece_sizes, true, seed);
-    case Algo::kDeterministic:
-      return plan_deterministic(comm, data, piece_sizes);
-    case Algo::kAdvancedRandomized:
-      return plan_advanced(comm, data, piece_sizes, seed);
+  coll::SendPlan<T> out;
+  for (const auto& pl : place_delivery(comm, piece_sizes, algo, seed)) {
+    out.add(pl.dest, data.subspan(static_cast<std::size_t>(pl.offset),
+                                  static_cast<std::size_t>(pl.len)));
   }
-  PMPS_CHECK(false);
-  return {};
+  return out;
 }
 
+/// Materialises placements from a *spilled* partition: the store's content
+/// (runs concatenated) is the r consecutive pieces. Each placement is read
+/// back one block at a time into the plan's flat buffer, so the host never
+/// holds the partition AND the plan at once — the peak is the plan plus
+/// one block. Identical placements sliced in identical order make the plan
+/// byte-identical to plan_delivery over take_all().
+template <Sortable T>
+coll::SendPlan<T> plan_delivery_from_store(
+    Comm& comm, em::RunStore<T>& store,
+    const std::vector<std::int64_t>& piece_sizes, Algo algo,
+    std::uint64_t seed) {
+  std::int64_t sum = 0;
+  for (auto v : piece_sizes) sum += v;
+  PMPS_CHECK(sum == store.total());
+  coll::SendPlan<T> out;
+  std::vector<T> buf = store.acquire_buffer();
+  for (const auto& pl : place_delivery(comm, piece_sizes, algo, seed)) {
+    out.begin_piece(pl.dest);
+    for (std::int64_t off = 0; off < pl.len;
+         off += store.elems_per_block()) {
+      const std::int64_t len = std::min(store.elems_per_block(), pl.len - off);
+      std::span<T> chunk(buf.data(), static_cast<std::size_t>(len));
+      store.read_range(pl.offset + off, chunk);
+      out.append(chunk);
+    }
+  }
+  store.release_buffer(std::move(buf));
+  return out;
+}
+
+/// Common entry: plan + ship with coll::sparse_exchange. Returns the
+/// received runs as one FlatParts buffer — part i is a contiguous fragment
+/// of some sender's piece (if the sender's data was sorted, each run is
+/// sorted); take_flat() hands the concatenation over without a copy.
 template <typename T>
 coll::FlatParts<T> deliver(Comm& comm, std::span<const T> data,
                            const std::vector<std::int64_t>& piece_sizes,
-                           Algo algo, std::uint64_t seed) {
+                           Algo algo, std::uint64_t seed = 1) {
   return coll::sparse_exchange(comm,
                                plan_delivery(comm, data, piece_sizes, algo,
                                              seed))
@@ -573,6 +615,18 @@ void deliver_into(Comm& comm, std::span<const T> data,
                   std::uint64_t seed, Sink&& sink) {
   coll::sparse_exchange_into(
       comm, plan_delivery(comm, data, piece_sizes, algo, seed),
+      std::forward<Sink>(sink));
+}
+
+/// Spill-to-spill delivery: the outgoing partition lives in `source` (read
+/// back block-wise for the plan), the received pieces land in `sink`.
+/// Same messages, same virtual time as the in-memory deliver().
+template <Sortable T, typename Sink>
+void deliver_store_into(Comm& comm, em::RunStore<T>& source,
+                        const std::vector<std::int64_t>& piece_sizes,
+                        Algo algo, std::uint64_t seed, Sink&& sink) {
+  coll::sparse_exchange_into(
+      comm, plan_delivery_from_store(comm, source, piece_sizes, algo, seed),
       std::forward<Sink>(sink));
 }
 

@@ -1,32 +1,42 @@
 // BlockFile: fixed-size-block temporary storage for spilled runs.
 //
-// One BlockFile per RunStore (i.e. per PE and spill site). Storage is an
-// anonymous temporary file (std::tmpfile — unlinked on creation, reclaimed
-// by the OS even on abnormal exit), addressed in fixed-size block slots:
-// slot k lives at byte offset k·block_bytes. A partial block (the tail of a
-// run) still occupies a full slot; only its actual bytes are written and
-// read, and the owner (RunStore) knows every block's true length from the
-// run metadata, so no per-block size header is stored.
+// Storage is an anonymous temporary file (std::tmpfile — unlinked on
+// creation, reclaimed by the OS even on abnormal exit) addressed in
+// fixed-size block *slots*: slot k starts at byte offset k·block_bytes.
+// The file is created lazily on the first append, so a BlockFile that is
+// never written costs no file descriptor.
 //
-// The file is created lazily on the first append, so a RunStore that never
-// spills costs no file descriptor. All I/O is counted in the attached
-// SpillStats (bytes and block operations) — that accounting is what
-// bench/em_scale.cpp reports as bytes spilled vs. memory budget.
+// Sharing: one BlockFile may back every RunStore of an engine run
+// (em::MemoryBudget::shared_file) so that a budgeted sort at p PEs holds
+// ONE descriptor instead of p — the bulk-synchronous engine has all PEs in
+// the spilling phase at once, and per-PE tmpfiles die at p beyond
+// RLIMIT_NOFILE. The class is therefore thread-safe: slot *ranges* are
+// allocated with one atomic fetch-add (append reserves all slots of a
+// write up front, so a write's bytes are always contiguous even when PE
+// fibers on different worker threads interleave their appends), lazy file
+// creation takes a mutex once, and all I/O is positional (pread/pwrite) —
+// no shared file cursor, no locking on the data path.
 //
-// Descriptor budget: stores are phase-scoped, but the engine is
-// bulk-synchronous, so up to p spilling PEs hold a file at once; creation
-// aborts with a clear message when the fd limit is hit. Budgeted sorts at
-// p beyond RLIMIT_NOFILE need a raised limit or the shared-spill-file
-// extension noted in docs/EM.md (future work).
+// Fat elements: a single append may exceed block_bytes (a 100-byte
+// Record100 with a smaller block size). append() then reserves
+// ceil(size / block_bytes) consecutive slots; read() may likewise start at
+// a byte offset inside a slot and run past its end — legal exactly because
+// every append's slots are contiguous. The owner (RunStore) knows every
+// block's true length from its run metadata, so no per-block size header
+// is stored.
 //
-// Access is single-owner: a PE's fiber is the only caller (fibers migrate
-// across worker threads but run one at a time), so no locking is needed —
-// unlike net::BufferPool, which is shared by all PEs of an engine.
+// I/O is counted into the SpillStats passed per call (stores sharing a
+// file can keep separate counters) — that accounting is what
+// bench/em_scale.cpp and bench/minute_sort.cpp report as bytes spilled.
 
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <span>
 
 #include "common/check.hpp"
@@ -36,8 +46,7 @@ namespace pmps::em {
 
 class BlockFile {
  public:
-  explicit BlockFile(std::int64_t block_bytes, SpillStats* stats = nullptr)
-      : block_bytes_(block_bytes), stats_(stats) {
+  explicit BlockFile(std::int64_t block_bytes) : block_bytes_(block_bytes) {
     PMPS_CHECK(block_bytes_ > 0);
   }
 
@@ -50,56 +59,88 @@ class BlockFile {
 
   std::int64_t block_bytes() const { return block_bytes_; }
 
-  /// Number of block slots appended so far.
-  std::int64_t blocks() const { return next_slot_; }
-
-  /// Writes `data` (≤ block_bytes) into the next slot; returns its index.
-  std::int64_t append(std::span<const std::byte> data) {
-    PMPS_CHECK(static_cast<std::int64_t>(data.size()) <= block_bytes_);
-    if (file_ == nullptr) {
-      file_ = std::tmpfile();
-      PMPS_CHECK_MSG(file_ != nullptr, "cannot create spill file");
-    }
-    const std::int64_t slot = next_slot_++;
-    seek(slot);
-    if (!data.empty()) {
-      const std::size_t wrote =
-          std::fwrite(data.data(), 1, data.size(), file_);
-      PMPS_CHECK_MSG(wrote == data.size(), "spill write failed");
-    }
-    if (stats_ != nullptr)
-      stats_->count_write(static_cast<std::int64_t>(data.size()));
-    return slot;
+  /// Number of block slots reserved so far.
+  std::int64_t blocks() const {
+    return next_slot_.load(std::memory_order_relaxed);
   }
 
-  /// Reads back the first `out.size()` bytes of slot `slot` (the caller
-  /// knows the block's true length from its run metadata).
-  void read(std::int64_t slot, std::span<std::byte> out) {
-    PMPS_CHECK(slot >= 0 && slot < next_slot_);
-    PMPS_CHECK(static_cast<std::int64_t>(out.size()) <= block_bytes_);
+  /// Slots one append of `bytes` reserves: ceil(bytes / block_bytes), at
+  /// least 1 (the fat-element case — see the header comment).
+  std::int64_t slots_for(std::int64_t bytes) const {
+    PMPS_CHECK(bytes >= 0);
+    return bytes <= block_bytes_ ? 1
+                                 : (bytes + block_bytes_ - 1) / block_bytes_;
+  }
+
+  /// Writes `data` into freshly reserved consecutive slots and returns the
+  /// first slot's index. Thread-safe; `data` may exceed block_bytes.
+  std::int64_t append(std::span<const std::byte> data,
+                      SpillStats* stats = nullptr) {
+    const auto size = static_cast<std::int64_t>(data.size());
+    const std::int64_t first =
+        next_slot_.fetch_add(slots_for(size), std::memory_order_relaxed);
+    if (!data.empty()) {
+      ensure_open();
+      write_at(first * block_bytes_, data);
+    }
+    if (stats != nullptr) stats->count_write(size);
+    return first;
+  }
+
+  /// Reads `out.size()` bytes starting `byte_off` bytes into slot `slot`.
+  /// The range may run past the slot's end when it was written by one
+  /// multi-slot append (contiguity is guaranteed per append, not globally).
+  void read(std::int64_t slot, std::int64_t byte_off, std::span<std::byte> out,
+            SpillStats* stats = nullptr) {
+    PMPS_CHECK(slot >= 0 && slot < blocks() && byte_off >= 0);
     if (out.empty()) return;
-    seek(slot);
-    const std::size_t got = std::fread(out.data(), 1, out.size(), file_);
-    PMPS_CHECK_MSG(got == out.size(), "spill read failed");
-    if (stats_ != nullptr)
-      stats_->count_read(static_cast<std::int64_t>(out.size()));
+    read_at(slot * block_bytes_ + byte_off, out);
+    if (stats != nullptr)
+      stats->count_read(static_cast<std::int64_t>(out.size()));
   }
 
  private:
-  void seek(std::int64_t slot) {
-    const std::int64_t off = slot * block_bytes_;
-    // std::fseek takes long, 64-bit on LP64 but 32-bit elsewhere
-    // (LLP64/32-bit builds): refuse offsets the platform cannot address
-    // rather than silently truncating into another block's slot.
-    PMPS_CHECK_MSG(static_cast<std::int64_t>(static_cast<long>(off)) == off,
-                   "spill file offset overflows long on this platform");
-    PMPS_CHECK(std::fseek(file_, static_cast<long>(off), SEEK_SET) == 0);
+  void ensure_open() {
+    if (fd_.load(std::memory_order_acquire) >= 0) return;
+    std::lock_guard lock(open_mu_);
+    if (fd_.load(std::memory_order_relaxed) >= 0) return;
+    file_ = std::tmpfile();
+    PMPS_CHECK_MSG(file_ != nullptr, "cannot create spill file");
+    fd_.store(::fileno(file_), std::memory_order_release);
+  }
+
+  void write_at(std::int64_t off, std::span<const std::byte> data) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    const auto* p = data.data();
+    auto left = static_cast<std::size_t>(data.size());
+    while (left > 0) {
+      const ::ssize_t wrote = ::pwrite(fd, p, left, static_cast<::off_t>(off));
+      PMPS_CHECK_MSG(wrote > 0, "spill write failed");
+      p += wrote;
+      off += wrote;
+      left -= static_cast<std::size_t>(wrote);
+    }
+  }
+
+  void read_at(std::int64_t off, std::span<std::byte> out) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    PMPS_CHECK_MSG(fd >= 0, "spill read from a file never written");
+    auto* p = out.data();
+    auto left = static_cast<std::size_t>(out.size());
+    while (left > 0) {
+      const ::ssize_t got = ::pread(fd, p, left, static_cast<::off_t>(off));
+      PMPS_CHECK_MSG(got > 0, "spill read failed");
+      p += got;
+      off += got;
+      left -= static_cast<std::size_t>(got);
+    }
   }
 
   std::int64_t block_bytes_;
-  SpillStats* stats_;
-  std::FILE* file_ = nullptr;  ///< lazily created; anonymous (pre-unlinked)
-  std::int64_t next_slot_ = 0;
+  std::mutex open_mu_;            ///< guards lazy creation only
+  std::FILE* file_ = nullptr;     ///< anonymous (pre-unlinked); owns the fd
+  std::atomic<int> fd_{-1};
+  std::atomic<std::int64_t> next_slot_{0};
 };
 
 }  // namespace pmps::em

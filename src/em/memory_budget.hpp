@@ -25,6 +25,8 @@
 
 namespace pmps::em {
 
+class BlockFile;
+
 /// Aggregated spill counters — a plain-value snapshot of SpillStats,
 /// suitable for reports and bench JSON.
 struct SpillTotals {
@@ -35,6 +37,7 @@ struct SpillTotals {
   std::int64_t bytes_read = 0;      ///< bytes read back from disk
   std::int64_t external_sorts = 0;  ///< local sorts that went out of core
   std::int64_t external_merges = 0; ///< block-granular k-way merges performed
+  std::int64_t merge_passes = 0;    ///< extra fan-in-bounded merge passes
 
   bool spilled() const { return bytes_written > 0; }
 };
@@ -59,6 +62,9 @@ class SpillStats {
   void count_external_merge() {
     external_merges.fetch_add(1, std::memory_order_relaxed);
   }
+  void count_merge_pass() {
+    merge_passes.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Plain-value copy of the counters.
   SpillTotals totals() const {
@@ -70,6 +76,7 @@ class SpillStats {
     t.bytes_read = bytes_read.load(std::memory_order_relaxed);
     t.external_sorts = external_sorts.load(std::memory_order_relaxed);
     t.external_merges = external_merges.load(std::memory_order_relaxed);
+    t.merge_passes = merge_passes.load(std::memory_order_relaxed);
     return t;
   }
 
@@ -80,6 +87,7 @@ class SpillStats {
   std::atomic<std::int64_t> bytes_read{0};
   std::atomic<std::int64_t> external_sorts{0};
   std::atomic<std::int64_t> external_merges{0};
+  std::atomic<std::int64_t> merge_passes{0};
 };
 
 /// Per-PE element-storage budget. The default (bytes == 0) means unlimited:
@@ -93,6 +101,13 @@ struct MemoryBudget {
   std::int64_t bytes = 0;             ///< 0 = unlimited (in-memory paths)
   std::int64_t block_bytes = 1 << 16; ///< spill-block size (64 KiB default)
   SpillStats* stats = nullptr;        ///< optional shared counters
+
+  /// Optional engine-wide spill file shared by every RunStore of a run.
+  /// When null each store opens its own tmpfile — one descriptor per
+  /// spilling PE, which exhausts RLIMIT_NOFILE at large p; the harness
+  /// therefore wires one shared BlockFile per job (see SortJobState). The
+  /// file must have been created with this budget's block_bytes.
+  BlockFile* shared_file = nullptr;
 
   bool enabled() const { return bytes > 0; }
 

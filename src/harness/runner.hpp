@@ -16,6 +16,8 @@
 #include "baseline/gv_sample_sort.hpp"
 #include "baseline/hypercube_quicksort.hpp"
 #include "baseline/single_level.hpp"
+#include "common/types.hpp"
+#include "em/block_file.hpp"
 #include "em/memory_budget.hpp"
 #include "harness/verify.hpp"
 #include "harness/workloads.hpp"
@@ -51,10 +53,26 @@ inline std::string_view algorithm_name(Algorithm a) {
   return "?";
 }
 
+/// Element type of a run: 8-byte keys (the paper's §7 experiments) or
+/// 100-byte sort-benchmark records (the §7.3 MinuteSort regime).
+enum class ElementKind { kU64, kRecord100 };
+
+inline std::string_view element_name(ElementKind e) {
+  switch (e) {
+    case ElementKind::kU64: return "u64";
+    case ElementKind::kRecord100: return "record100";
+  }
+  return "?";
+}
+
 struct RunConfig {
   int p = 16;
   std::int64_t n_per_pe = 1000;
   Workload workload = Workload::kUniform;
+  /// Element type; kRecord100 ignores `workload` (records are always
+  /// uniform-keyed with provenance payloads) and supports the kAms, kRlm
+  /// and kGvSampleSort algorithms.
+  ElementKind element = ElementKind::kU64;
   Algorithm algorithm = Algorithm::kAms;
   net::MachineParams machine = net::MachineParams::supermuc_like();
   std::uint64_t seed = 1;
@@ -98,14 +116,76 @@ struct SortJobState {
   explicit SortJobState(const RunConfig& c) : cfg(c) {
     budget = cfg.budget;
     budget.stats = &spill_stats;
+    // One spill file for the whole job: every PE's RunStore shares this
+    // descriptor (slot ranges are allocated atomically, I/O is positional),
+    // so budgeted sorts run at p far beyond RLIMIT_NOFILE. A caller that
+    // already set shared_file keeps its own file.
+    if (budget.enabled() && budget.shared_file == nullptr) {
+      spill_file = std::make_unique<em::BlockFile>(budget.block_bytes);
+      budget.shared_file = spill_file.get();
+    }
   }
   RunConfig cfg;
   em::SpillStats spill_stats;
+  std::unique_ptr<em::BlockFile> spill_file;  ///< one fd per job, all PEs
   em::MemoryBudget budget;
   std::mutex mu;
   SortCheck check;
   ams::AmsStats ams_stats;
 };
+
+namespace detail {
+
+/// The Record100 variant of the sort program: same phases, same
+/// verification, 100-byte elements. Only the sorters that are
+/// element-type generic through the budgeted path run records.
+inline void run_record_program(SortJobState& st, net::Comm& comm) {
+  const RunConfig& cfg = st.cfg;
+  auto data = make_record_workload(comm.rank(), cfg.p, cfg.n_per_pe, cfg.seed);
+  const std::uint64_t in_hash =
+      content_hash(std::span<const Record100>(data.data(), data.size()));
+  const auto in_count = static_cast<std::int64_t>(data.size());
+
+  ams::AmsStats stats;
+  switch (cfg.algorithm) {
+    case Algorithm::kAms: {
+      auto a = cfg.ams;
+      a.seed = cfg.seed;
+      a.budget = st.budget;
+      stats = ams::ams_sort(comm, data, a);
+      break;
+    }
+    case Algorithm::kRlm: {
+      auto r = cfg.rlm;
+      r.seed = cfg.seed;
+      r.budget = st.budget;
+      rlm::rlm_sort(comm, data, r);
+      break;
+    }
+    case Algorithm::kGvSampleSort: {
+      baseline::GvConfig g;
+      g.levels = cfg.ams.levels;
+      g.seed = cfg.seed;
+      g.budget = st.budget;
+      baseline::gv_sample_sort(comm, data, g);
+      break;
+    }
+    default:
+      PMPS_CHECK_MSG(false,
+                     "Record100 workloads support kAms/kRlm/kGvSampleSort");
+  }
+
+  auto check = verify_sorted_output(
+      comm, std::span<const Record100>(data.data(), data.size()), in_hash,
+      in_count);
+  if (comm.rank() == 0) {
+    std::lock_guard lock(st.mu);
+    st.check = check;
+    st.ams_stats = std::move(stats);
+  }
+}
+
+}  // namespace detail
 
 /// The per-rank SPMD program of a sort experiment — shared verbatim by the
 /// serial runner and the service path, so a job's execution is the same
@@ -114,6 +194,10 @@ inline std::function<void(net::Comm&)> make_sort_program(
     std::shared_ptr<SortJobState> st) {
   return [st = std::move(st)](net::Comm& comm) {
     const RunConfig& cfg = st->cfg;
+    if (cfg.element == ElementKind::kRecord100) {
+      detail::run_record_program(*st, comm);
+      return;
+    }
     auto data = make_workload(cfg.workload, comm.rank(), cfg.p, cfg.n_per_pe,
                               cfg.seed);
     const std::uint64_t in_hash =

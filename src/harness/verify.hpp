@@ -36,12 +36,29 @@ std::uint64_t content_hash(std::span<const T> data) {
   return h;
 }
 
+/// Order-dependent signature of one PE's output: FNV over the element
+/// bytes *in order*, keyed by the PE's rank. Summing these over PEs gives a
+/// value that is equal iff every PE holds byte-identical output in the same
+/// order — unlike content_hash, which is permutation-invariant. Bit-identity
+/// tests (budgeted vs in-memory runs) compare this through the harness.
+template <typename T>
+std::uint64_t output_signature(int rank, std::span<const T> data) {
+  std::uint64_t acc = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  for (std::size_t i = 0; i < data.size_bytes(); ++i)
+    acc = (acc ^ bytes[i]) * 0x100000001b3ULL;
+  return mix64(acc ^ mix64(static_cast<std::uint64_t>(rank) + 1));
+}
+
 struct SortCheck {
   bool locally_sorted = true;
   bool globally_ordered = true;
   bool permutation_ok = true;
   std::int64_t total = 0;
   double imbalance = 0;  ///< max local count / (total/p) − 1
+  /// Sum of the per-PE output_signature values — an order-dependent
+  /// fingerprint of the whole distributed output (same on every PE).
+  std::uint64_t out_signature = 0;
 
   bool ok() const { return locally_sorted && globally_ordered && permutation_ok; }
 };
@@ -94,6 +111,7 @@ SortCheck verify_sorted_output(Comm& comm, std::span<const T> output,
       static_cast<std::int64_t>(output.size()),
       input_count,
       local_sorted ? 0 : 1,
+      static_cast<std::int64_t>(output_signature(comm.rank(), output)),
   };
   sums = coll::allreduce_add(comm, std::move(sums));
 
@@ -101,6 +119,7 @@ SortCheck verify_sorted_output(Comm& comm, std::span<const T> output,
   res.globally_ordered = order_ok != 0;
   res.permutation_ok = (sums[0] == sums[1]) && (sums[2] == sums[3]);
   res.total = sums[2];
+  res.out_signature = static_cast<std::uint64_t>(sums[5]);
   const std::int64_t max_local = coll::allreduce_one<std::int64_t>(
       comm, static_cast<std::int64_t>(output.size()),
       [](std::int64_t a, std::int64_t x) { return std::max(a, x); });

@@ -13,6 +13,7 @@
 
 #include "common/check.hpp"
 #include "common/random.hpp"
+#include "common/types.hpp"
 
 namespace pmps::harness {
 
@@ -97,6 +98,24 @@ inline std::vector<std::uint64_t> make_workload(Workload w, int pe, int p,
                       static_cast<std::uint64_t>(pe));
         break;
     }
+  }
+  return out;
+}
+
+/// Generates PE `pe`'s share of a sort-benchmark-style Record100 workload
+/// (§7.3 / MinuteSort regime): uniform random 10-byte keys, payload filled
+/// with the origin rank so tests can assert that payload bytes survive the
+/// shuffle byte-for-byte (provenance — the pattern of
+/// examples/minute_sort_records.cpp).
+inline std::vector<Record100> make_record_workload(int pe, int p,
+                                                   std::int64_t n_local,
+                                                   std::uint64_t seed) {
+  PMPS_CHECK(n_local >= 0 && pe >= 0 && pe < p);
+  Xoshiro256 rng(seed, static_cast<std::uint64_t>(pe) + 0x77beef);
+  std::vector<Record100> out(static_cast<std::size_t>(n_local));
+  for (auto& rec : out) {
+    for (auto& b : rec.key) b = static_cast<std::uint8_t>(rng.bounded(256));
+    rec.payload.fill(static_cast<std::uint8_t>(pe & 0xff));
   }
   return out;
 }

@@ -128,6 +128,30 @@ class BucketClassifier {
   std::vector<T> tree_;
 };
 
+/// Classifies one block of a larger input stream whose first element sits
+/// at global position `base_index`, calling emit(bucket, element) for each
+/// element in input order. classify_strip descends per element (strips only
+/// batch independent descents), so chopping the input into blocks of any
+/// size yields exactly the buckets partition_into_buckets computes over the
+/// whole span — the property AMS-sort's streaming two-pass classification
+/// over spilled run blocks relies on (docs/EM.md).
+template <typename T, typename Less, typename Emit>
+void classify_block(std::span<const T> block, std::int32_t my_pe,
+                    std::int64_t base_index,
+                    const BucketClassifier<T, Less>& cls, Emit&& emit) {
+  using Cls = BucketClassifier<T, Less>;
+  std::int32_t buckets[Cls::kStrip];
+  const auto n = static_cast<std::int64_t>(block.size());
+  for (std::int64_t off = 0; off < n; off += Cls::kStrip) {
+    const int count =
+        static_cast<int>(std::min<std::int64_t>(Cls::kStrip, n - off));
+    cls.classify_strip(block.data() + off, count, my_pe, base_index + off,
+                       buckets);
+    for (int j = 0; j < count; ++j)
+      emit(buckets[j], block[static_cast<std::size_t>(off + j)]);
+  }
+}
+
 /// Result of partitioning: elements permuted so bucket b occupies
 /// [offsets[b], offsets[b] + sizes[b]).
 template <typename T>

@@ -32,6 +32,9 @@
 
 #include "coll/collectives.hpp"
 #include "coll/send_plan.hpp"
+#include "common/types.hpp"
+#include "em/run_cursor.hpp"
+#include "em/run_store.hpp"
 #include "net/comm.hpp"
 #include "net/engine.hpp"
 #include "net/fiber.hpp"
@@ -180,6 +183,71 @@ TEST(AllocCount, SendPlanReuseIsAllocationFree) {
   EXPECT_EQ(allocs, 0);
   EXPECT_EQ(plan.pieces(), 32);
   EXPECT_EQ(plan.total(), 32 * 16);
+}
+
+TEST(AllocCount, RunStoreRecord100ReadPathIsAllocationFreeWhenWarm) {
+  // The spill read path for 100-byte records: pooled block buffers must be
+  // sized for Record100 up front so the warm loop — acquire, read_block,
+  // read_range, release — never regrows a buffer. A pool that recycled
+  // byte-capacity-mismatched buffers would reallocate on every resize(epb).
+  em::MemoryBudget budget;
+  budget.bytes = 1;
+  budget.block_bytes = 8 * static_cast<std::int64_t>(sizeof(pmps::Record100));
+  em::RunStore<pmps::Record100> store(budget);
+  const auto epb = static_cast<std::size_t>(store.elems_per_block());
+  ASSERT_EQ(epb, 8u);
+
+  std::vector<pmps::Record100> run(45);
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    for (auto& b : run[i].key) b = static_cast<std::uint8_t>(i * 7 + 1);
+    run[i].payload.fill(static_cast<std::uint8_t>(i));
+  }
+  store.append_run({run.data(), run.size()});
+  store.append_run({run.data(), run.size() / 2});
+
+  std::vector<pmps::Record100> range_buf(19);
+  const auto read_everything = [&] {
+    for (int rep = 0; rep < 4; ++rep) {
+      auto buf = store.acquire_buffer();
+      for (int r = 0; r < store.runs(); ++r) {
+        const auto n = store.run_size(r);
+        for (std::int64_t b = 0; b * static_cast<std::int64_t>(epb) < n; ++b) {
+          const auto len = std::min<std::int64_t>(
+              static_cast<std::int64_t>(epb),
+              n - b * static_cast<std::int64_t>(epb));
+          store.read_block(r, b, {buf.data(), static_cast<std::size_t>(len)});
+        }
+      }
+      store.release_buffer(std::move(buf));
+      store.read_range(5, {range_buf.data(), range_buf.size()});
+    }
+  };
+
+  read_everything();  // warm: pool populated, prefix sums built
+  const std::int64_t allocs = count_allocs(read_everything);
+  EXPECT_EQ(allocs, 0);
+}
+
+TEST(AllocCount, RunCursorRecord100WindowsAllocationFreeWhenWarm) {
+  em::MemoryBudget budget;
+  budget.bytes = 1;
+  budget.block_bytes = 4 * static_cast<std::int64_t>(sizeof(pmps::Record100));
+  em::RunStore<pmps::Record100> store(budget);
+  std::vector<pmps::Record100> run(30);
+  for (std::size_t i = 0; i < run.size(); ++i)
+    for (auto& b : run[i].key) b = static_cast<std::uint8_t>(i);
+  store.append_run({run.data(), run.size()});
+
+  const auto walk = [&] {
+    em::RunCursor<pmps::Record100> cur(&store, 0);
+    std::size_t seen = 0;
+    for (auto w = cur.next_window(); !w.empty(); w = cur.next_window())
+      seen += w.size();
+    if (seen != run.size()) std::abort();
+  };
+  walk();  // warm: the cursor's pooled block buffer reaches full size
+  const std::int64_t allocs = count_allocs(walk);
+  EXPECT_EQ(allocs, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <mutex>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common/random.hpp"
@@ -77,6 +78,69 @@ TEST_P(SortFuzz, RandomConfigurationsSort) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SortFuzz, ::testing::Range(0, 30));
+
+class SpillFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpillFuzz, BudgetedRunsAreBitIdenticalToInMemory) {
+  // Randomized (p, n/p, budget, block size, algorithm, element type) grid:
+  // a budgeted run must spill, verify, and be bit-identical to the
+  // unbudgeted in-memory run — same order-dependent output signature (so
+  // equal keys land in the same stable order on the same PEs) and the same
+  // virtual time (spilling is invisible to the machine model).
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  Xoshiro256 rng(seed * 2654435761 + 7);
+
+  RunConfig cfg;
+  constexpr int kPs[] = {2, 4, 8, 12, 16, 24};
+  cfg.p = kPs[rng.bounded(std::size(kPs))];
+  cfg.n_per_pe = 64 + static_cast<std::int64_t>(rng.bounded(700));
+  constexpr Algorithm kAlgos[] = {Algorithm::kAms, Algorithm::kRlm,
+                                  Algorithm::kGvSampleSort};
+  cfg.algorithm = kAlgos[rng.bounded(std::size(kAlgos))];
+  cfg.element = rng.bounded(2) == 0 ? harness::ElementKind::kU64
+                                    : harness::ElementKind::kRecord100;
+  cfg.workload =
+      harness::kAllWorkloads[rng.bounded(std::size(harness::kAllWorkloads))];
+  cfg.ams.levels = 1 + static_cast<int>(rng.bounded(2));
+  cfg.rlm.levels = cfg.ams.levels;
+  cfg.seed = seed;
+
+  const std::int64_t elem_bytes =
+      cfg.element == harness::ElementKind::kRecord100 ? 100 : 8;
+  const std::int64_t payload = cfg.n_per_pe * elem_bytes;
+  // Budget 1/16 .. 1/2 of the payload; blocks small enough that tiny
+  // budgets still bound the merge fan-in.
+  constexpr std::int64_t kBlocks[] = {256, 512, 1024, 4096};
+  cfg.budget.block_bytes = kBlocks[rng.bounded(std::size(kBlocks))];
+  cfg.budget.bytes =
+      std::max<std::int64_t>(1, payload >> (1 + rng.bounded(4)));
+
+  const auto spilled = harness::run_sort_experiment(cfg);
+  auto plain_cfg = cfg;
+  plain_cfg.budget = {};
+  const auto plain = harness::run_sort_experiment(plain_cfg);
+
+  const auto ctx = [&] {
+    return std::string("algo=") +
+           std::string(harness::algorithm_name(cfg.algorithm)) +
+           " element=" + std::string(harness::element_name(cfg.element)) +
+           " p=" + std::to_string(cfg.p) +
+           " n/p=" + std::to_string(cfg.n_per_pe) +
+           " budget=" + std::to_string(cfg.budget.bytes) +
+           " block=" + std::to_string(cfg.budget.block_bytes) +
+           " seed=" + std::to_string(seed);
+  };
+  EXPECT_TRUE(spilled.check.ok()) << ctx();
+  EXPECT_TRUE(plain.check.ok()) << ctx();
+  EXPECT_GT(spilled.spill.bytes_written, 0) << "budget idle: " << ctx();
+  EXPECT_EQ(plain.spill.bytes_written, 0) << ctx();
+  EXPECT_EQ(spilled.check.out_signature, plain.check.out_signature) << ctx();
+  EXPECT_EQ(spilled.report.wall_time, plain.report.wall_time) << ctx();
+  EXPECT_EQ(spilled.report.total_bytes_sent, plain.report.total_bytes_sent)
+      << ctx();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpillFuzz, ::testing::Range(0, 28));
 
 class DeliveryFuzz : public ::testing::TestWithParam<int> {};
 
