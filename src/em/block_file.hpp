@@ -40,6 +40,7 @@
 #include <span>
 
 #include "common/check.hpp"
+#include "em/io.hpp"
 #include "em/memory_budget.hpp"
 
 namespace pmps::em {
@@ -87,6 +88,29 @@ class BlockFile {
     return first;
   }
 
+  /// Reserves ⌈bytes/block_bytes⌉ consecutive slots *without* writing them
+  /// and returns the first slot — the write-behind path: the owner flushes
+  /// the bytes asynchronously through an IoExecutor while the slot range is
+  /// already fixed in the run metadata. Ensures the file exists so fd() is
+  /// valid for the background write. Thread-safe.
+  std::int64_t reserve(std::int64_t bytes) {
+    const std::int64_t first =
+        next_slot_.fetch_add(slots_for(bytes), std::memory_order_relaxed);
+    ensure_open();
+    return first;
+  }
+
+  /// The backing descriptor, for positional I/O submitted to an
+  /// IoExecutor. Valid after any append() or reserve().
+  int fd() const {
+    const int fd = fd_.load(std::memory_order_acquire);
+    PMPS_CHECK_MSG(fd >= 0, "spill file never created");
+    return fd;
+  }
+
+  /// Byte offset of slot `slot`.
+  std::int64_t offset(std::int64_t slot) const { return slot * block_bytes_; }
+
   /// Reads `out.size()` bytes starting `byte_off` bytes into slot `slot`.
   /// The range may run past the slot's end when it was written by one
   /// multi-slot append (contiguity is guaranteed per append, not globally).
@@ -109,31 +133,16 @@ class BlockFile {
     fd_.store(::fileno(file_), std::memory_order_release);
   }
 
+  // Short transfers and EINTR are handled by the em/io.hpp full-transfer
+  // loops (shared with the IoExecutor's background threads).
   void write_at(std::int64_t off, std::span<const std::byte> data) {
-    const int fd = fd_.load(std::memory_order_acquire);
-    const auto* p = data.data();
-    auto left = static_cast<std::size_t>(data.size());
-    while (left > 0) {
-      const ::ssize_t wrote = ::pwrite(fd, p, left, static_cast<::off_t>(off));
-      PMPS_CHECK_MSG(wrote > 0, "spill write failed");
-      p += wrote;
-      off += wrote;
-      left -= static_cast<std::size_t>(wrote);
-    }
+    pwrite_full(fd_.load(std::memory_order_acquire), off, data);
   }
 
   void read_at(std::int64_t off, std::span<std::byte> out) {
     const int fd = fd_.load(std::memory_order_acquire);
     PMPS_CHECK_MSG(fd >= 0, "spill read from a file never written");
-    auto* p = out.data();
-    auto left = static_cast<std::size_t>(out.size());
-    while (left > 0) {
-      const ::ssize_t got = ::pread(fd, p, left, static_cast<::off_t>(off));
-      PMPS_CHECK_MSG(got > 0, "spill read failed");
-      p += got;
-      off += got;
-      left -= static_cast<std::size_t>(got);
-    }
+    pread_full(fd, off, out);
   }
 
   std::int64_t block_bytes_;

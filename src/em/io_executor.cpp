@@ -1,0 +1,434 @@
+// Implementation of em/io.hpp (hardened positional I/O) and the
+// IoExecutor. Design: io_executor.hpp file comment and docs/EM.md.
+
+#include "em/io_executor.hpp"
+
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "em/io.hpp"
+#include "net/fiber.hpp"
+
+#if defined(PMPS_HAVE_IO_URING)
+#include <liburing.h>
+#endif
+
+namespace pmps::em {
+
+// ---------------------------------------------------------------------------
+// em/io.hpp: full-transfer positional I/O with EINTR retry and test shims.
+
+namespace {
+
+std::atomic<std::int64_t> g_io_chunk_limit{0};
+std::atomic<std::int64_t> g_io_delay_us{0};
+
+std::size_t capped(std::size_t left) {
+  const std::int64_t cap = g_io_chunk_limit.load(std::memory_order_relaxed);
+  return cap > 0 ? std::min(left, static_cast<std::size_t>(cap)) : left;
+}
+
+void model_device_latency() {
+  const std::int64_t us = g_io_delay_us.load(std::memory_order_relaxed);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+void set_io_chunk_limit_for_testing(std::int64_t bytes) {
+  g_io_chunk_limit.store(bytes, std::memory_order_relaxed);
+}
+
+void set_io_delay_us(std::int64_t us) {
+  g_io_delay_us.store(us, std::memory_order_relaxed);
+}
+
+std::int64_t io_delay_us() {
+  return g_io_delay_us.load(std::memory_order_relaxed);
+}
+
+void pread_full(int fd, std::int64_t off, std::span<std::byte> out) {
+  auto* p = out.data();
+  auto left = out.size();
+  model_device_latency();
+  while (left > 0) {
+    const ::ssize_t got =
+        ::pread(fd, p, capped(left), static_cast<::off_t>(off));
+    if (got < 0 && errno == EINTR) continue;
+    PMPS_CHECK_MSG(got > 0, "spill read failed");
+    p += got;
+    off += got;
+    left -= static_cast<std::size_t>(got);
+  }
+}
+
+void pwrite_full(int fd, std::int64_t off, std::span<const std::byte> data) {
+  const auto* p = data.data();
+  auto left = data.size();
+  model_device_latency();
+  while (left > 0) {
+    const ::ssize_t wrote =
+        ::pwrite(fd, p, capped(left), static_cast<::off_t>(off));
+    if (wrote < 0 && errno == EINTR) continue;
+    PMPS_CHECK_MSG(wrote > 0, "spill write failed");
+    p += wrote;
+    off += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void pwritev_full(int fd, std::int64_t off,
+                  std::span<const std::span<const std::byte>> bufs) {
+  const std::size_t nb = bufs.size();
+  PMPS_CHECK(nb >= 1 && nb <= static_cast<std::size_t>(IoExecutor::kMaxIov));
+  for (const auto& b : bufs) PMPS_CHECK(!b.empty());
+  std::size_t i = 0;       // first buffer not yet fully written
+  std::size_t in_buf = 0;  // bytes of bufs[i] already written
+  model_device_latency();
+  while (i < nb) {
+    // Assemble the remaining data into one iovec batch, truncated to the
+    // injected per-syscall cap (which exercises the advance logic below).
+    std::array<::iovec, IoExecutor::kMaxIov> iov;
+    std::int64_t cap = g_io_chunk_limit.load(std::memory_order_relaxed);
+    if (cap <= 0) cap = std::numeric_limits<std::int64_t>::max();
+    int cnt = 0;
+    std::int64_t batched = 0;
+    for (std::size_t j = i; j < nb && batched < cap; ++j) {
+      const std::size_t skip = (j == i) ? in_buf : 0;
+      const auto len = std::min(
+          static_cast<std::int64_t>(bufs[j].size() - skip), cap - batched);
+      iov[static_cast<std::size_t>(cnt)].iov_base =
+          const_cast<std::byte*>(bufs[j].data() + skip);
+      iov[static_cast<std::size_t>(cnt)].iov_len =
+          static_cast<std::size_t>(len);
+      batched += len;
+      ++cnt;
+    }
+    const ::ssize_t wrote =
+        ::pwritev(fd, iov.data(), cnt, static_cast<::off_t>(off));
+    if (wrote < 0 && errno == EINTR) continue;
+    PMPS_CHECK_MSG(wrote > 0, "spill write failed");
+    off += wrote;
+    std::int64_t w = wrote;
+    while (w > 0) {  // advance (i, in_buf) past the written bytes
+      const auto avail = static_cast<std::int64_t>(bufs[i].size() - in_buf);
+      if (w >= avail) {
+        w -= avail;
+        ++i;
+        in_buf = 0;
+      } else {
+        in_buf += static_cast<std::size_t>(w);
+        w = 0;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IoExecutor.
+
+IoMode io_mode_from_env() {
+  const char* v = std::getenv("PMPS_EM_IO");
+  if (v == nullptr || *v == '\0') return IoMode::kAsync;
+  const std::string_view s(v);
+  if (s == "sync") return IoMode::kSync;
+  if (s == "uring") return IoMode::kUring;
+  return IoMode::kAsync;
+}
+
+int io_threads_from_env() {
+  const char* v = std::getenv("PMPS_EM_IO_THREADS");
+  if (v == nullptr || *v == '\0') return 2;
+  return std::clamp(std::atoi(v), 1, 8);
+}
+
+bool io_uring_available() {
+#if defined(PMPS_HAVE_IO_URING)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// One asynchronous I/O operation. Submission fields are written by the
+/// owner before enqueue and read by an I/O thread after dequeue (the queue
+/// mutex orders them); the completion fields hand the result back through
+/// the op's own mutex, per the fiber protocol in the header comment.
+struct IoExecutor::Op {
+  // Submission (immutable while in flight).
+  int fd = -1;
+  std::int64_t off = 0;
+  bool is_write = false;
+  int iov_count = 0;
+  std::array<std::span<const std::byte>, kMaxIov> iov;  // writes
+  std::array<::iovec, kMaxIov> iovecs;  ///< stable storage for uring writev
+  std::span<std::byte> read_buf;        // reads
+
+  Op* next = nullptr;  ///< intrusive link: submission queue / free list
+
+  // Completion handoff.
+  std::mutex mu;
+  std::condition_variable cv;     ///< non-fiber waiters
+  std::atomic<bool> done{false};  ///< poll() reads it lock-free
+  void* waiter = nullptr;         ///< parked fiber handle, consumed once
+};
+
+struct IoExecutor::Impl {
+  IoMode mode = IoMode::kAsync;
+
+  std::mutex mu;  ///< guards queue, free list, pool growth, stop
+  std::condition_variable cv;
+  Op* head = nullptr;
+  Op* tail = nullptr;
+  Op* free_list = nullptr;
+  std::vector<std::unique_ptr<Op>> pool;  ///< owns every op ever created
+  bool stop = false;
+  std::vector<std::thread> threads;
+#if defined(PMPS_HAVE_IO_URING)
+  ::io_uring ring{};
+  bool ring_ok = false;
+#endif
+};
+
+IoExecutor::IoExecutor(int threads, IoMode mode)
+    : impl_(std::make_unique<Impl>()) {
+  PMPS_CHECK(threads >= 1);
+  PMPS_CHECK(mode != IoMode::kSync);
+  impl_->mode = IoMode::kAsync;
+#if defined(PMPS_HAVE_IO_URING)
+  if (mode == IoMode::kUring &&
+      ::io_uring_queue_init(256, &impl_->ring, 0) == 0) {
+    impl_->ring_ok = true;
+    impl_->mode = IoMode::kUring;
+    impl_->threads.emplace_back([this] { uring_main(); });
+    return;
+  }
+#endif
+  impl_->threads.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    impl_->threads.emplace_back([this] { thread_main(); });
+}
+
+IoExecutor::~IoExecutor() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+#if defined(PMPS_HAVE_IO_URING)
+  if (impl_->ring_ok) ::io_uring_queue_exit(&impl_->ring);
+#endif
+}
+
+IoMode IoExecutor::mode() const { return impl_->mode; }
+
+IoExecutor::Op* IoExecutor::acquire(int fd, std::int64_t off) {
+  Op* op;
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->free_list != nullptr) {
+      op = impl_->free_list;
+      impl_->free_list = op->next;
+    } else {
+      impl_->pool.push_back(std::make_unique<Op>());  // cold path only
+      op = impl_->pool.back().get();
+    }
+  }
+  op->fd = fd;
+  op->off = off;
+  op->next = nullptr;
+  op->done.store(false, std::memory_order_relaxed);
+  op->waiter = nullptr;
+  return op;
+}
+
+void IoExecutor::enqueue(Op* op) {
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->tail != nullptr)
+      impl_->tail->next = op;
+    else
+      impl_->head = op;
+    impl_->tail = op;
+  }
+  impl_->cv.notify_one();
+}
+
+IoExecutor::Op* IoExecutor::submit_write(
+    int fd, std::int64_t off,
+    std::span<const std::span<const std::byte>> bufs) {
+  PMPS_CHECK(!bufs.empty() && bufs.size() <= static_cast<std::size_t>(kMaxIov));
+  Op* op = acquire(fd, off);
+  op->is_write = true;
+  op->iov_count = static_cast<int>(bufs.size());
+  for (std::size_t i = 0; i < bufs.size(); ++i) op->iov[i] = bufs[i];
+  op->read_buf = {};
+  enqueue(op);
+  return op;
+}
+
+IoExecutor::Op* IoExecutor::submit_read(int fd, std::int64_t off,
+                                        std::span<std::byte> out) {
+  PMPS_CHECK(!out.empty());
+  Op* op = acquire(fd, off);
+  op->is_write = false;
+  op->iov_count = 0;
+  op->read_buf = out;
+  enqueue(op);
+  return op;
+}
+
+bool IoExecutor::poll(const Op* op) {
+  return op->done.load(std::memory_order_acquire);
+}
+
+double IoExecutor::wait(Op* op) {
+  double waited = 0;
+  if (!op->done.load(std::memory_order_acquire)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (net::FiberPool::in_fiber()) {
+      // Park through the engine's blocking protocol: register the handle
+      // and prepare_block under the op mutex (the lock the completing I/O
+      // thread holds when it consumes the registration), then switch out.
+      std::unique_lock lock(op->mu);
+      while (!op->done.load(std::memory_order_relaxed)) {
+        op->waiter = net::FiberPool::current_fiber_handle();
+        net::FiberPool::prepare_block();
+        lock.unlock();
+        net::FiberPool::block_current();
+        lock.lock();
+      }
+    } else {
+      std::unique_lock lock(op->mu);
+      op->cv.wait(lock,
+                  [op] { return op->done.load(std::memory_order_relaxed); });
+    }
+    waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  std::lock_guard lock(impl_->mu);
+  op->next = impl_->free_list;
+  impl_->free_list = op;
+  return waited;
+}
+
+void IoExecutor::execute(Op* op) {
+  if (op->is_write) {
+    pwritev_full(op->fd, op->off,
+                 std::span<const std::span<const std::byte>>(
+                     op->iov.data(), static_cast<std::size_t>(op->iov_count)));
+  } else {
+    pread_full(op->fd, op->off, op->read_buf);
+  }
+}
+
+void IoExecutor::complete(Op* op) {
+  void* waiter;
+  {
+    std::lock_guard lock(op->mu);
+    op->done.store(true, std::memory_order_release);
+    waiter = std::exchange(op->waiter, nullptr);
+  }
+  op->cv.notify_all();
+  if (waiter != nullptr) net::FiberPool::wake_fiber_handle(waiter);
+}
+
+void IoExecutor::thread_main() {
+  for (;;) {
+    Op* op;
+    {
+      std::unique_lock lock(impl_->mu);
+      impl_->cv.wait(
+          lock, [this] { return impl_->stop || impl_->head != nullptr; });
+      if (impl_->head == nullptr) return;  // stop && drained
+      op = impl_->head;
+      impl_->head = op->next;
+      if (impl_->head == nullptr) impl_->tail = nullptr;
+    }
+    execute(op);
+    complete(op);
+  }
+}
+
+#if defined(PMPS_HAVE_IO_URING)
+// One thread drives the ring: it moves queued ops into sqes (iovecs staged
+// in the op's stable inline array) and reaps cqes. Short or failed kernel
+// transfers fall back to the hardened synchronous loops — positional I/O
+// is idempotent, so re-running the whole op is safe.
+void IoExecutor::uring_main() {
+  int inflight = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(impl_->mu);
+      if (inflight == 0) {
+        impl_->cv.wait(
+            lock, [this] { return impl_->stop || impl_->head != nullptr; });
+        if (impl_->stop && impl_->head == nullptr) return;
+      }
+      while (impl_->head != nullptr) {
+        ::io_uring_sqe* sqe = ::io_uring_get_sqe(&impl_->ring);
+        if (sqe == nullptr) break;  // ring full: reap before submitting more
+        Op* op = impl_->head;
+        impl_->head = op->next;
+        if (impl_->head == nullptr) impl_->tail = nullptr;
+        if (op->is_write) {
+          for (int i = 0; i < op->iov_count; ++i) {
+            const auto& b = op->iov[static_cast<std::size_t>(i)];
+            op->iovecs[static_cast<std::size_t>(i)].iov_base =
+                const_cast<std::byte*>(b.data());
+            op->iovecs[static_cast<std::size_t>(i)].iov_len = b.size();
+          }
+          ::io_uring_prep_writev(sqe, op->fd, op->iovecs.data(),
+                                 static_cast<unsigned>(op->iov_count),
+                                 static_cast<__u64>(op->off));
+        } else {
+          ::io_uring_prep_read(sqe, op->fd, op->read_buf.data(),
+                               static_cast<unsigned>(op->read_buf.size()),
+                               static_cast<__u64>(op->off));
+        }
+        ::io_uring_sqe_set_data(sqe, op);
+        ++inflight;
+      }
+    }
+    ::io_uring_submit(&impl_->ring);
+    if (inflight == 0) continue;
+    ::io_uring_cqe* cqe = nullptr;
+    if (::io_uring_wait_cqe(&impl_->ring, &cqe) != 0) continue;
+    Op* op = static_cast<Op*>(::io_uring_cqe_get_data(cqe));
+    const auto res = static_cast<std::int64_t>(cqe->res);
+    ::io_uring_cqe_seen(&impl_->ring, cqe);
+    --inflight;
+    if (op == nullptr) continue;
+    std::int64_t want = 0;
+    if (op->is_write) {
+      for (int i = 0; i < op->iov_count; ++i)
+        want +=
+            static_cast<std::int64_t>(op->iov[static_cast<std::size_t>(i)]
+                                          .size());
+    } else {
+      want = static_cast<std::int64_t>(op->read_buf.size());
+    }
+    if (res != want) execute(op);  // short/failed: redo synchronously
+    complete(op);
+  }
+}
+#endif  // PMPS_HAVE_IO_URING
+
+}  // namespace pmps::em

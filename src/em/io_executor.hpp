@@ -1,0 +1,106 @@
+// IoExecutor: the background I/O engine of the out-of-core path.
+//
+// A small pool of I/O threads executes positional reads and gather-writes
+// against the spill file so that the worker threads running PE fibers never
+// stall on storage: RunStore's write-behind queue and RunCursor/StoreStream
+// read-ahead submit here and only wait when a result is actually needed
+// (docs/EM.md, "The I/O pipeline").
+//
+// Completion handoff is fiber-aware. A fiber that must wait registers its
+// opaque handle (net::FiberPool::current_fiber_handle) in the op's record
+// under the record's mutex and parks through the engine's standard
+// kBlocking/kBlocked/kReady protocol — its worker thread picks up another
+// PE fiber meanwhile. The completing I/O thread flips the op done under the
+// same mutex and wakes the handle, exactly like a message depositor wakes a
+// mailbox waiter. Non-fiber callers (the thread-per-PE backend, unit tests,
+// bench drivers) fall back to a condition-variable wait on the same record.
+//
+// Completion records are pooled and recycled on wait(), so the warm spill
+// path allocates nothing (tests/test_alloc.cpp). Ops carry their iovec
+// spans inline (kMaxIov), never owning data: buffers stay owned by the
+// submitting RunStore, which keeps them alive until the op is waited out.
+//
+// Backends: the default executes ops on `threads` plain threads with
+// pread/pwritev (em/io.hpp, hardened). When liburing headers were found at
+// configure time (PMPS_HAVE_IO_URING), IoMode::kUring drives the same op
+// queue through one io_uring instead; it falls back to the thread pool
+// when ring setup fails at runtime. PMPS_EM_IO selects sync|async|uring
+// for the harness (io_mode_from_env).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace pmps::em {
+
+/// How the spill path schedules file I/O (PMPS_EM_IO).
+enum class IoMode {
+  kSync,   ///< no executor: synchronous I/O inside the owning fiber (PR-9)
+  kAsync,  ///< background I/O thread pool (default)
+  kUring,  ///< io_uring submission thread (falls back to kAsync if absent)
+};
+
+/// Reads PMPS_EM_IO ("sync" | "async" | "uring"); default kAsync.
+IoMode io_mode_from_env();
+
+/// Background I/O thread count: PMPS_EM_IO_THREADS, default 2, clamped to
+/// [1, 8].
+int io_threads_from_env();
+
+/// True when the io_uring backend was compiled in (liburing found).
+bool io_uring_available();
+
+class IoExecutor {
+ public:
+  /// Most spans one gather-write op can carry — also the write-behind
+  /// coalescing window (adjacent dirty blocks merged per syscall).
+  static constexpr int kMaxIov = 8;
+
+  struct Op;  ///< pooled completion record; opaque to callers
+
+  explicit IoExecutor(int threads = 2, IoMode mode = IoMode::kAsync);
+
+  /// Joins the I/O threads after draining the queue. Every submitted op
+  /// must have been waited out (RunStore::drain does this).
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  /// Submits a gather-write of the concatenation of `bufs` (none empty, at
+  /// most kMaxIov) at byte offset `off`. The spans' memory must stay valid
+  /// and unmodified until wait(). Returns the op ticket.
+  Op* submit_write(int fd, std::int64_t off,
+                   std::span<const std::span<const std::byte>> bufs);
+
+  /// Submits a positional read filling `out`; same lifetime contract.
+  Op* submit_read(int fd, std::int64_t off, std::span<std::byte> out);
+
+  /// True when `op` completed (a wait() would not block).
+  static bool poll(const Op* op);
+
+  /// Blocks until `op` completes, then recycles it (the ticket is dead).
+  /// Fiber-aware — see the file comment. Returns the host seconds this
+  /// call actually spent blocked (0 when the op was already done).
+  double wait(Op* op);
+
+  /// The backend actually in use (kUring setup may have fallen back).
+  IoMode mode() const;
+
+ private:
+  struct Impl;
+  Op* acquire(int fd, std::int64_t off);
+  void enqueue(Op* op);
+  void thread_main();
+#if defined(PMPS_HAVE_IO_URING)
+  void uring_main();
+#endif
+  static void execute(Op* op);
+  static void complete(Op* op);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pmps::em

@@ -1,0 +1,433 @@
+// Tests for the spill I/O overlap layer: hardened positional I/O
+// (em/io.hpp, short-transfer and EINTR loops exercised via the injected
+// chunk limit), the IoExecutor (thread-pool backend, pooled completion
+// records, fiber-aware waits), RunStore write-behind (dirty queue,
+// coalescing, read settling), RunCursor/StoreStream read-ahead, and the
+// determinism wall: budgeted sorts are bit-identical across
+// PMPS_EM_IO=sync|async, worker counts, and engine backends.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "em/block_file.hpp"
+#include "em/external_merge.hpp"
+#include "em/io.hpp"
+#include "em/io_executor.hpp"
+#include "em/run_cursor.hpp"
+#include "em/run_store.hpp"
+#include "harness/runner.hpp"
+#include "net/engine.hpp"
+#include "net/fiber.hpp"
+
+namespace pmps {
+namespace {
+
+using harness::Algorithm;
+using harness::RunConfig;
+
+/// RAII reset of the em/io.hpp process-global test knobs.
+struct IoKnobsGuard {
+  ~IoKnobsGuard() {
+    em::set_io_chunk_limit_for_testing(0);
+    em::set_io_delay_us(0);
+  }
+};
+
+/// An anonymous temp file and its descriptor.
+struct TmpFile {
+  TmpFile() : f(std::tmpfile()) { fd = ::fileno(f); }
+  ~TmpFile() { std::fclose(f); }
+  std::FILE* f;
+  int fd;
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned salt) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 131 + salt * 29 + 7) & 0xff);
+  return v;
+}
+
+/// Tiny budget (8-element blocks) with optional async executor attached.
+em::MemoryBudget tiny_budget(em::SpillStats* stats, em::IoExecutor* io) {
+  em::MemoryBudget b;
+  b.bytes = 1;
+  b.block_bytes = 8 * static_cast<std::int64_t>(sizeof(std::uint64_t));
+  b.stats = stats;
+  b.io = io;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// em/io.hpp: full-transfer loops under injected short transfers
+// ---------------------------------------------------------------------------
+
+TEST(IoFull, RoundTripUnderShortTransfers) {
+  IoKnobsGuard guard;
+  TmpFile tmp;
+  const auto data = pattern(1000, 1);
+  em::set_io_chunk_limit_for_testing(3);  // every syscall transfers ≤ 3 bytes
+  em::pwrite_full(tmp.fd, 17, std::span<const std::byte>(data));
+  std::vector<std::byte> back(data.size());
+  em::pread_full(tmp.fd, 17, std::span<std::byte>(back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(IoFull, GatherWriteAdvancesAcrossBuffers) {
+  IoKnobsGuard guard;
+  TmpFile tmp;
+  // Buffer sizes chosen so the 4-byte chunk cap splits inside and across
+  // buffer boundaries.
+  const auto a = pattern(5, 2);
+  const auto b = pattern(7, 3);
+  const auto c = pattern(11, 4);
+  const std::span<const std::byte> bufs[] = {a, b, c};
+  em::set_io_chunk_limit_for_testing(4);
+  em::pwritev_full(tmp.fd, 3, std::span<const std::span<const std::byte>>(
+                                  bufs, 3));
+  em::set_io_chunk_limit_for_testing(0);
+  std::vector<std::byte> back(5 + 7 + 11);
+  em::pread_full(tmp.fd, 3, std::span<std::byte>(back));
+  std::vector<std::byte> expect;
+  expect.insert(expect.end(), a.begin(), a.end());
+  expect.insert(expect.end(), b.begin(), b.end());
+  expect.insert(expect.end(), c.begin(), c.end());
+  EXPECT_EQ(back, expect);
+}
+
+// ---------------------------------------------------------------------------
+// IoExecutor: thread-pool backend
+// ---------------------------------------------------------------------------
+
+TEST(IoExecutor, WriteThenReadRoundTrip) {
+  TmpFile tmp;
+  em::IoExecutor io(2);
+  const auto data = pattern(4096, 5);
+  const std::span<const std::byte> one[] = {data};
+  auto* w = io.submit_write(tmp.fd, 128,
+                            std::span<const std::span<const std::byte>>(one, 1));
+  io.wait(w);
+  std::vector<std::byte> back(data.size());
+  auto* r = io.submit_read(tmp.fd, 128, std::span<std::byte>(back));
+  io.wait(r);
+  EXPECT_EQ(back, data);
+}
+
+TEST(IoExecutor, GatherWriteConcatenates) {
+  TmpFile tmp;
+  em::IoExecutor io(1);
+  const auto a = pattern(100, 6);
+  const auto b = pattern(200, 7);
+  const std::span<const std::byte> bufs[] = {a, b};
+  io.wait(io.submit_write(tmp.fd, 0,
+                          std::span<const std::span<const std::byte>>(bufs, 2)));
+  std::vector<std::byte> back(300);
+  io.wait(io.submit_read(tmp.fd, 0, std::span<std::byte>(back)));
+  EXPECT_TRUE(std::memcmp(back.data(), a.data(), a.size()) == 0);
+  EXPECT_TRUE(std::memcmp(back.data() + a.size(), b.data(), b.size()) == 0);
+}
+
+TEST(IoExecutor, ManyConcurrentOpsAtDistinctOffsets) {
+  TmpFile tmp;
+  em::IoExecutor io(3);
+  constexpr int kOps = 64;
+  constexpr std::size_t kBytes = 1024;
+  std::vector<std::vector<std::byte>> data;
+  std::vector<em::IoExecutor::Op*> ops;
+  for (int i = 0; i < kOps; ++i) {
+    data.push_back(pattern(kBytes, static_cast<unsigned>(i)));
+    const std::span<const std::byte> one[] = {data.back()};
+    ops.push_back(io.submit_write(
+        tmp.fd, static_cast<std::int64_t>(i) * kBytes,
+        std::span<const std::span<const std::byte>>(one, 1)));
+  }
+  for (auto* op : ops) io.wait(op);
+  ops.clear();
+  std::vector<std::vector<std::byte>> back(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    back[static_cast<std::size_t>(i)].resize(kBytes);
+    ops.push_back(io.submit_read(
+        tmp.fd, static_cast<std::int64_t>(i) * kBytes,
+        std::span<std::byte>(back[static_cast<std::size_t>(i)])));
+  }
+  for (auto* op : ops) io.wait(op);
+  for (int i = 0; i < kOps; ++i)
+    EXPECT_EQ(back[static_cast<std::size_t>(i)],
+              data[static_cast<std::size_t>(i)])
+        << "op " << i;
+}
+
+TEST(IoExecutor, PollTurnsTrueAndWaitReturnsBlockedTime) {
+  IoKnobsGuard guard;
+  TmpFile tmp;
+  em::IoExecutor io(1);
+  em::set_io_delay_us(2000);  // make the op take a visible while
+  const auto data = pattern(64, 8);
+  const std::span<const std::byte> one[] = {data};
+  auto* op = io.submit_write(tmp.fd, 0,
+                             std::span<const std::span<const std::byte>>(one, 1));
+  const double waited = io.wait(op);
+  EXPECT_GE(waited, 0.0);
+  em::set_io_delay_us(0);
+  // A completed op polls true before wait and waits for ~0 seconds.
+  auto* op2 = io.submit_write(tmp.fd, 0,
+                              std::span<const std::span<const std::byte>>(one, 1));
+  while (!em::IoExecutor::poll(op2)) {
+  }
+  EXPECT_EQ(io.wait(op2), 0.0);
+}
+
+TEST(IoExecutor, FiberWaitParksInsteadOfPinningWorkers) {
+  if (!net::fibers_supported()) GTEST_SKIP() << "no fiber backend here";
+  IoKnobsGuard guard;
+  TmpFile tmp;
+  em::IoExecutor io(2);
+  em::set_io_delay_us(1000);  // ops outlive the submit, forcing real parks
+  // More fibers than workers: if a waiting fiber pinned its worker thread,
+  // this would deadlock rather than finish.
+  net::FiberPool pool(2, 256 << 10);
+  std::vector<int> ok(8, 0);
+  pool.run(8, [&](int i) {
+    const auto data = pattern(512, static_cast<unsigned>(i));
+    const std::span<const std::byte> one[] = {data};
+    io.wait(io.submit_write(tmp.fd, static_cast<std::int64_t>(i) * 512,
+                            std::span<const std::span<const std::byte>>(one,
+                                                                        1)));
+    std::vector<std::byte> back(512);
+    io.wait(io.submit_read(tmp.fd, static_cast<std::int64_t>(i) * 512,
+                           std::span<std::byte>(back)));
+    ok[static_cast<std::size_t>(i)] = back == data ? 1 : 0;
+  });
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ok[static_cast<std::size_t>(i)], 1);
+}
+
+// ---------------------------------------------------------------------------
+// RunStore write-behind
+// ---------------------------------------------------------------------------
+
+TEST(WriteBehind, RoundTripsAndCountsOverlap) {
+  em::SpillStats stats;
+  em::IoExecutor io(2);
+  em::RunStore<std::uint64_t> store(tiny_budget(&stats, &io));
+  std::vector<std::uint64_t> expect;
+  for (int r = 0; r < 5; ++r) {
+    std::vector<std::uint64_t> run(static_cast<std::size_t>(20 + 7 * r));
+    std::iota(run.begin(), run.end(), 1000u * static_cast<unsigned>(r));
+    expect.insert(expect.end(), run.begin(), run.end());
+    store.append_run(std::span<const std::uint64_t>(run.data(), run.size()));
+  }
+  EXPECT_EQ(store.take_all(), expect);
+  const auto t = stats.totals();
+  EXPECT_GT(t.writes_behind, 0);
+  // Consecutive appends of one run get adjacent slots: coalescing must
+  // have merged some of them into shared syscalls.
+  EXPECT_GT(t.write_coalesced, 0);
+  EXPECT_GT(t.inflight_hwm_bytes, 0);
+  // Write totals are counted at submit time — identical to the sync path.
+  EXPECT_EQ(t.bytes_written,
+            static_cast<std::int64_t>(expect.size() * sizeof(std::uint64_t)));
+}
+
+TEST(WriteBehind, ReadSettlesPendingWrites) {
+  IoKnobsGuard guard;
+  em::SpillStats stats;
+  em::IoExecutor io(1);
+  em::RunStore<std::uint64_t> store(tiny_budget(&stats, &io));
+  em::set_io_delay_us(2000);  // keep flushes in flight while we read back
+  std::vector<std::uint64_t> run(64);
+  std::iota(run.begin(), run.end(), 7u);
+  store.append_run(std::span<const std::uint64_t>(run.data(), run.size()));
+  // Immediately read every block back — including the still-open coalescing
+  // window and queued flushes, which settle_range must push out first.
+  std::vector<std::uint64_t> back(64);
+  const std::int64_t epb = store.elems_per_block();
+  for (std::int64_t b = 0; b * epb < 64; ++b) {
+    const std::int64_t len = std::min<std::int64_t>(epb, 64 - b * epb);
+    store.read_block(0, b,
+                     std::span<std::uint64_t>(
+                         back.data() + b * epb, static_cast<std::size_t>(len)));
+  }
+  EXPECT_EQ(back, run);
+}
+
+TEST(WriteBehind, RunWriterStreamsThroughDirtyQueue) {
+  em::SpillStats stats;
+  em::IoExecutor io(2);
+  em::RunStore<std::uint64_t> store(tiny_budget(&stats, &io));
+  std::vector<std::uint64_t> expect(555);
+  std::iota(expect.begin(), expect.end(), 3u);
+  {
+    em::RunWriter<std::uint64_t> w(store);
+    for (auto v : expect) w.push(v);
+  }
+  EXPECT_EQ(store.take_all(), expect);
+  EXPECT_GT(stats.totals().writes_behind, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Read-ahead: RunCursor and StoreStream
+// ---------------------------------------------------------------------------
+
+TEST(ReadAhead, CursorWindowsMatchSyncAndCountPrefetch) {
+  em::SpillStats stats;
+  em::IoExecutor io(2);
+  em::RunStore<std::uint64_t> store(tiny_budget(&stats, &io));
+  std::vector<std::uint64_t> run(163);  // ~21 windows, short tail
+  std::iota(run.begin(), run.end(), 11u);
+  store.append_run(std::span<const std::uint64_t>(run.data(), run.size()));
+  std::vector<std::uint64_t> got;
+  std::int64_t windows = 0;
+  {
+    em::RunCursor<std::uint64_t> cur(&store, 0);
+    for (auto w = cur.next_window(); !w.empty(); w = cur.next_window()) {
+      got.insert(got.end(), w.begin(), w.end());
+      ++windows;
+    }
+  }
+  EXPECT_EQ(got, run);
+  const auto t = stats.totals();
+  EXPECT_EQ(t.prefetch_hits + t.prefetch_misses, windows);
+}
+
+TEST(ReadAhead, CursorTeardownMidRunDiscardsPrefetch) {
+  em::SpillStats stats;
+  em::IoExecutor io(1);
+  em::RunStore<std::uint64_t> store(tiny_budget(&stats, &io));
+  std::vector<std::uint64_t> run(100);
+  std::iota(run.begin(), run.end(), 0u);
+  store.append_run(std::span<const std::uint64_t>(run.data(), run.size()));
+  {
+    em::RunCursor<std::uint64_t> cur(&store, 0);
+    (void)cur.next_window();  // leaves the next window's read in flight
+  }
+  // The store (and its buffers) must still be healthy after the abandoned
+  // prefetch was awaited by the cursor destructor.
+  EXPECT_EQ(store.take_all(), run);
+}
+
+TEST(ReadAhead, StoreStreamMatchesReadRangeWithSeeks) {
+  em::SpillStats stats;
+  em::IoExecutor io(2);
+  em::RunStore<std::uint64_t> store(tiny_budget(&stats, &io));
+  // Several runs, including empty ones, with non-aligned lengths.
+  std::vector<std::uint64_t> content;
+  const int lens[] = {13, 0, 40, 1, 0, 27};
+  unsigned salt = 0;
+  for (int len : lens) {
+    std::vector<std::uint64_t> run(static_cast<std::size_t>(len));
+    std::iota(run.begin(), run.end(), 100000u * ++salt);
+    content.insert(content.end(), run.begin(), run.end());
+    store.append_run(std::span<const std::uint64_t>(run.data(), run.size()));
+  }
+  const auto total = static_cast<std::int64_t>(content.size());
+  ASSERT_EQ(store.total(), total);
+
+  em::StoreStream<std::uint64_t> stream(store);
+  // Sequential full pass.
+  std::vector<std::uint64_t> got(content.size());
+  stream.read(std::span<std::uint64_t>(got.data(), got.size()));
+  EXPECT_EQ(got, content);
+  // Seeks: backward, forward, unaligned, across run boundaries.
+  const std::int64_t starts[] = {0, 5, 12, 13, 52, total - 3};
+  for (std::int64_t s : starts) {
+    stream.seek(s);
+    const auto len = static_cast<std::size_t>(
+        std::min<std::int64_t>(total - s, 17));
+    std::vector<std::uint64_t> part(len);
+    stream.read(std::span<std::uint64_t>(part.data(), part.size()));
+    const std::vector<std::uint64_t> expect(
+        content.begin() + s, content.begin() + s + static_cast<std::int64_t>(len));
+    EXPECT_EQ(part, expect) << "seek " << s;
+  }
+}
+
+TEST(ReadAhead, MergeRunsBitIdenticalToSyncStore) {
+  // The same runs written to a sync store and an async store must merge to
+  // the identical vector (and the async one exercises cursor prefetch).
+  em::IoExecutor io(2);
+  em::RunStore<std::uint64_t> sync_store(tiny_budget(nullptr, nullptr));
+  em::RunStore<std::uint64_t> async_store(tiny_budget(nullptr, &io));
+  Xoshiro256 rng(42);
+  for (int r = 0; r < 8; ++r) {
+    std::vector<std::uint64_t> run(static_cast<std::size_t>(30 + 11 * r));
+    for (auto& v : run) v = rng();
+    std::sort(run.begin(), run.end());
+    sync_store.append_run(std::span<const std::uint64_t>(run.data(), run.size()));
+    async_store.append_run(std::span<const std::uint64_t>(run.data(), run.size()));
+  }
+  EXPECT_EQ(em::merge_runs(async_store), em::merge_runs(sync_store));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism wall: PMPS_EM_IO=sync|async × workers × backends
+// ---------------------------------------------------------------------------
+
+/// Budgeted over-memory sort config used for all wall runs.
+RunConfig wall_config(Algorithm algo) {
+  RunConfig cfg;
+  cfg.p = 8;
+  cfg.n_per_pe = 600;
+  cfg.algorithm = algo;
+  cfg.budget.bytes = 1536;  // forces spilling at every stage
+  cfg.budget.block_bytes = 512;
+  cfg.seed = 23;
+  return cfg;
+}
+
+TEST(DeterminismWall, SyncAsyncWorkersBackendsBitIdentical) {
+  struct Obs {
+    std::uint64_t sig;
+    double wall;
+  };
+  std::vector<Obs> obs;
+  const auto algos = {Algorithm::kAms, Algorithm::kRlm};
+  for (const char* mode : {"sync", "async"}) {
+    ::setenv("PMPS_EM_IO", mode, 1);
+    for (const char* workers : {"1", "3"}) {
+      ::setenv("PMPS_FIBER_WORKERS", workers, 1);
+      for (const auto backend :
+           {net::EngineBackend::kFibers, net::EngineBackend::kThreads}) {
+        if (backend == net::EngineBackend::kFibers &&
+            !net::fibers_supported()) {
+          continue;
+        }
+        std::size_t a = 0;
+        for (const auto algo : algos) {
+          auto cfg = wall_config(algo);
+          cfg.backend = backend;
+          const auto res = harness::run_sort_experiment(cfg);
+          ASSERT_TRUE(res.check.ok());
+          EXPECT_GT(res.spill.bytes_written, 0);
+          if (std::string(mode) == "async") {
+            EXPECT_GT(res.spill.writes_behind, 0)
+                << "async run did not exercise write-behind";
+          }
+          if (obs.size() <= a) {
+            obs.push_back({res.check.out_signature, res.wall_time()});
+          } else {
+            EXPECT_EQ(res.check.out_signature, obs[a].sig)
+                << "output differs: mode=" << mode << " workers=" << workers;
+            EXPECT_EQ(res.wall_time(), obs[a].wall)
+                << "virtual time differs: mode=" << mode
+                << " workers=" << workers;
+          }
+          ++a;
+        }
+      }
+    }
+  }
+  ::unsetenv("PMPS_EM_IO");
+  ::unsetenv("PMPS_FIBER_WORKERS");
+}
+
+}  // namespace
+}  // namespace pmps

@@ -115,7 +115,12 @@ TEST_P(SpillFuzz, BudgetedRunsAreBitIdenticalToInMemory) {
   cfg.budget.bytes =
       std::max<std::int64_t>(1, payload >> (1 + rng.bounded(4)));
 
-  const auto spilled = harness::run_sort_experiment(cfg);
+  const auto spilled = harness::run_sort_experiment(cfg);  // async I/O default
+  // The same budgeted run with the synchronous spill path: overlap is
+  // host-side scheduling only, so output and clocks must not move.
+  ::setenv("PMPS_EM_IO", "sync", 1);
+  const auto sync_spilled = harness::run_sort_experiment(cfg);
+  ::unsetenv("PMPS_EM_IO");
   auto plain_cfg = cfg;
   plain_cfg.budget = {};
   const auto plain = harness::run_sort_experiment(plain_cfg);
@@ -138,6 +143,13 @@ TEST_P(SpillFuzz, BudgetedRunsAreBitIdenticalToInMemory) {
   EXPECT_EQ(spilled.report.wall_time, plain.report.wall_time) << ctx();
   EXPECT_EQ(spilled.report.total_bytes_sent, plain.report.total_bytes_sent)
       << ctx();
+  EXPECT_TRUE(sync_spilled.check.ok()) << ctx();
+  EXPECT_GT(spilled.spill.writes_behind, 0) << "async overlap idle: " << ctx();
+  EXPECT_EQ(sync_spilled.spill.writes_behind, 0) << ctx();
+  EXPECT_EQ(sync_spilled.check.out_signature, spilled.check.out_signature)
+      << "sync/async output differs: " << ctx();
+  EXPECT_EQ(sync_spilled.report.wall_time, spilled.report.wall_time)
+      << "sync/async virtual time differs: " << ctx();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpillFuzz, ::testing::Range(0, 28));
